@@ -1,0 +1,36 @@
+# Development targets for the Colibri reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples quick clean
+
+install:
+	$(PYTHON) -m pip install -e '.[test]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Everything the paper reports, captured to the repo root.
+reproduce:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	$(PYTHON) tools/make_report.py
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/critical_service.py
+	$(PYTHON) examples/multipath_failover.py
+	$(PYTHON) examples/video_call.py
+	$(PYTHON) examples/operator_day.py
+	$(PYTHON) examples/ddos_defense.py
+	$(PYTHON) examples/video_stream.py
+
+quick:
+	$(PYTHON) -m repro demo
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

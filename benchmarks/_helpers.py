@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper's evaluation
+(§6-§7, appendices).  Series are printed AND written to
+``benchmark_results/<name>.txt`` so the tee'd bench output and
+EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmark_results")
+
+
+def report(name: str, title: str, lines: list) -> None:
+    """Print a result table and persist it for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    body = "\n".join([title, "-" * len(title), *lines, ""])
+    print("\n" + body)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(body)
+
+
+def time_per_call(fn, repeat: int = 200, number: int = 1) -> float:
+    """Best-of-``repeat`` seconds per call (min reduces scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = (time.perf_counter() - start) / number
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def throughput(fn, duration: float = 0.5) -> float:
+    """Calls per second sustained over roughly ``duration`` seconds."""
+    # Warm up and estimate cost.
+    fn()
+    start = time.perf_counter()
+    count = 0
+    while time.perf_counter() - start < duration:
+        fn()
+        count += 1
+    return count / (time.perf_counter() - start)

@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration: make sibling helpers importable and
+print the generated figure/table files at the end of the run."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_terminal_summary(terminalreporter):
+    results_dir = os.path.join(os.path.dirname(__file__), "..", "benchmark_results")
+    if not os.path.isdir(results_dir):
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for name in sorted(os.listdir(results_dir)):
+        path = os.path.join(results_dir, name)
+        with open(path) as handle:
+            terminalreporter.write(handle.read() + "\n")

@@ -1,0 +1,71 @@
+"""Control-plane behaviour under sustained stochastic churn.
+
+Not a paper figure, but the operational regime behind §6's numbers: a
+CServ in production sees a continuous Poisson arrival process of EER
+setups, renewals, expiries and sweeps — all interleaved.  This bench
+drives 10 simulated minutes of churn and reports the sustained rates
+plus the wall-clock cost per simulated second, demonstrating that the
+control plane's O(1) admissions keep long-horizon operation cheap.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _helpers import report
+from repro.control import RenewalScheduler
+from repro.sim import ColibriNetwork, EventLoop
+from repro.sim.workload import EerWorkload
+from repro.topology import IsdAs, build_two_isd_topology
+from repro.util.units import mbps
+
+BASE = 0xFF00_0000_0000
+SRC = IsdAs(1, BASE + 101)
+DST = IsdAs(2, BASE + 101)
+HORIZON = 600.0  # 10 simulated minutes
+
+
+@pytest.mark.benchmark(group="churn")
+def test_churn_sustained(benchmark):
+    net = ColibriNetwork(build_two_isd_topology())
+    loop = EventLoop(net.clock)
+    segments = net.reserve_segments(SRC, DST, mbps(500))
+    keepers = []
+    for segr in segments:
+        owner = net.cserv(segr.reservation_id.src_as)
+        keeper = RenewalScheduler(owner)
+        keeper.track_segment(segr.reservation_id, bandwidth=mbps(500))
+        keepers.append(keeper)
+    workload = EerWorkload(
+        net, loop, SRC, DST,
+        arrival_rate=2.0, mean_holding=40.0,
+        min_bandwidth=mbps(0.05), max_bandwidth=mbps(5),
+    )
+    workload.start()
+    loop.every(30.0, lambda: ([k.tick() for k in keepers], net.housekeeping()))
+
+    wall_start = time.perf_counter()
+    loop.run_until(net.clock.now() + HORIZON)
+    wall = time.perf_counter() - wall_start
+
+    stats = workload.stats
+    lines = [
+        f"simulated horizon: {HORIZON:,.0f} s   wall time: {wall:.2f} s "
+        f"({HORIZON / wall:,.0f}x real time)",
+        f"EER arrivals: {stats.arrivals}   admitted: {stats.admitted} "
+        f"({stats.admission_ratio:.0%})   renewals: {stats.renewals}",
+        f"probe delivery: {stats.delivery_ratio:.2%}   "
+        f"active sessions at end: {workload.active_sessions}",
+    ]
+    report("churn", "Sustained churn — 10 simulated minutes of Poisson EERs", lines)
+
+    assert stats.arrivals > 800
+    assert stats.admission_ratio > 0.9
+    assert stats.delivery_ratio > 0.99
+    assert HORIZON / wall > 20  # the sim outruns real time comfortably
+
+    benchmark.pedantic(
+        lambda: loop.run_until(net.clock.now() + 10.0), rounds=10, iterations=1
+    )

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the cryptographic primitives.
+
+Context for every data-plane number in Figs. 5/6: the per-packet costs
+decompose into these operations.  The paper's prototype uses AES-NI
+(~100M ops/s/core); our keyed-BLAKE2s substitution runs at Python speed,
+which is exactly the ~10^3x scale factor between our kpps and the
+paper's Mpps (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import report, throughput
+from repro.crypto import aead_open, aead_seal, mac, prf, truncated_mac
+from repro.crypto.drkey import DrkeyDeriver
+from repro.dataplane.hvf import eer_hvf, hop_authenticator, segment_token
+from repro.packets.fields import EerInfo, ResInfo, Timestamp
+from repro.reservation.ids import ReservationId
+from repro.topology.addresses import HostAddr, IsdAs
+from repro.util.clock import SimClock
+
+SRC = IsdAs.parse("1-ff00:0:110")
+KEY = b"k" * 16
+RES_INFO = ResInfo(
+    reservation=ReservationId(SRC, 7), bandwidth=1e9, expiry=1e6, version=1
+)
+EER = EerInfo(HostAddr(1), HostAddr(2))
+TS = Timestamp(123456, 0)
+SEALED = aead_seal(KEY, b"sigma" * 3)
+
+
+@pytest.mark.benchmark(group="crypto")
+def test_crypto_micro(benchmark):
+    deriver = DrkeyDeriver(SRC, SimClock(0.0), seed=b"seed" * 4)
+    operations = {
+        "PRF (16 B out)": lambda: prf(KEY, b"input data"),
+        "MAC (full)": lambda: mac(KEY, b"a control payload of usual size" * 2),
+        "MAC (truncated, Eq.3/6)": lambda: truncated_mac(KEY, b"hdr" * 10),
+        "DRKey derive K_{A->B}": lambda: deriver.as_key(b"AS-B"),
+        "SegR token (Eq. 3)": lambda: segment_token(KEY, RES_INFO, 2, 3),
+        "HopAuth (Eq. 4)": lambda: hop_authenticator(KEY, RES_INFO, EER, 2, 3),
+        "EER HVF (Eq. 6)": lambda: eer_hvf(KEY, TS, 600),
+        "AEAD seal (Eq. 5)": lambda: aead_seal(KEY, b"sigma" * 3),
+        "AEAD open (Eq. 5)": lambda: aead_open(KEY, SEALED),
+    }
+    lines = [f"{'operation':<26} | {'ops/s':>12}"]
+    rates = {}
+    for name, op in operations.items():
+        rate = throughput(op, duration=0.1)
+        rates[name] = rate
+        lines.append(f"{name:<26} | {rate:>12,.0f}")
+    report("crypto_micro", "Cryptographic primitive rates (one core)", lines)
+
+    # Sanity ordering: Eq. 6 (one truncated MAC over 12 bytes) must be
+    # the cheapest of the protocol operations; Eq. 4 costs about one MAC.
+    assert rates["EER HVF (Eq. 6)"] >= rates["HopAuth (Eq. 4)"] * 0.8
+    assert rates["AEAD seal (Eq. 5)"] < rates["MAC (full)"]
+    benchmark(operations["EER HVF (Eq. 6)"])

@@ -1,0 +1,123 @@
+"""Figure 4: EER admission time at a transit AS vs. existing EERs.
+
+Paper result: the EER admission overhead "is independent of both the
+number of existing EERs over the same SegR and the number of SegRs" (the
+sweep runs existing EERs 10^1..10^5 and s in {1, 5000, 10000} SegRs
+sharing the source AS); §6.2: "a single core can process more than 2000
+requests per second".
+
+Shape targets: flat in both dimensions; throughput > 2000/s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import report, throughput, time_per_call
+from repro.admission import EerAdmission
+from repro.admission.eer_admission import AsRole
+from repro.reservation import (
+    ReservationId,
+    ReservationStore,
+    SegmentReservation,
+    SegmentVersion,
+)
+from repro.topology import IsdAs
+from repro.topology.graph import NO_INTERFACE
+from repro.topology.segments import HopField, Segment, SegmentType
+from repro.util.units import gbps, kbps
+
+BASE = 0xFF00_0000_0000
+SRC = IsdAs(1, BASE + 1)
+FAR = IsdAs(1, BASE + 2)
+TRANSIT = IsdAs(1, BASE + 3)
+
+EER_COUNTS = [10, 100, 1000, 10_000, 100_000]
+SEGR_COUNTS = [1, 5000, 10_000]
+
+
+def build_transit(existing_eers: int, segr_count: int):
+    """A transit AS holding ``segr_count`` SegRs from one source, one of
+    which carries ``existing_eers`` admitted EERs."""
+    store = ReservationStore()
+    target = None
+    for index in range(segr_count):
+        segment = Segment.from_hops(
+            SegmentType.CORE,
+            [HopField(SRC, NO_INTERFACE, 1), HopField(FAR, 1, NO_INTERFACE)],
+        )
+        reservation = SegmentReservation(
+            reservation_id=ReservationId(SRC, index + 1),
+            segment=segment,
+            first_version=SegmentVersion(
+                version=1, bandwidth=gbps(10_000), expiry=1e9
+            ),
+        )
+        store.add_segment(reservation)
+        if target is None:
+            target = reservation.reservation_id
+    for index in range(existing_eers):
+        store.allocate_on_segment(
+            target, ReservationId(SRC, 1_000_000 + index), kbps(1)
+        )
+    return EerAdmission(TRANSIT, store), target
+
+
+def one_decision(admission: EerAdmission, segment_id: ReservationId):
+    admission.decide(AsRole.TRANSIT, kbps(1), now=0.0, segment_in=segment_id)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_series(benchmark):
+    lines = [
+        f"{'existing EERs':>14} | "
+        + " | ".join(f"s={s:<6}" for s in SEGR_COUNTS)
+    ]
+    flatness = {}
+    for eers in EER_COUNTS:
+        row = []
+        for segrs in SEGR_COUNTS:
+            admission, target = build_transit(eers, segrs)
+            per_call = time_per_call(
+                lambda: one_decision(admission, target), repeat=50, number=50
+            )
+            row.append(per_call * 1e6)
+            flatness.setdefault(segrs, []).append(per_call)
+        lines.append(f"{eers:>14} | " + " | ".join(f"{v:6.2f}µs" for v in row))
+    report(
+        "fig4_eer_admission",
+        "Fig. 4 — EER admission time at a transit AS (flat = O(1))",
+        lines,
+    )
+    # Flat in existing EERs (10^4x growth, allow 5x noise) ...
+    for segrs, series in flatness.items():
+        assert max(series) < 5 * max(min(series), 1e-7), (
+            f"EER admission grew with existing EERs at s={segrs}: {series}"
+        )
+    # ... and flat in the number of SegRs sharing the source.
+    by_segr = [flatness[s][-1] for s in SEGR_COUNTS]
+    assert max(by_segr) < 5 * max(min(by_segr), 1e-7)
+
+    admission, target = build_transit(100_000, 10_000)
+    benchmark(lambda: one_decision(admission, target))
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_eereq_throughput_exceeds_paper(benchmark):
+    """§6.2: 'a single core can process more than 2000 requests per
+    second'."""
+    admission, target = build_transit(100_000, 10_000)
+    rate = throughput(lambda: one_decision(admission, target), duration=0.3)
+    report(
+        "fig4_throughput",
+        "EEReq admission throughput (paper: >2000/s per core)",
+        [f"measured: {rate:,.0f} admissions/s on one core"],
+    )
+    assert rate > 2000
+    benchmark(lambda: one_decision(admission, target))
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_benchmark_eer_admission_small(benchmark):
+    admission, target = build_transit(10, 1)
+    benchmark(lambda: one_decision(admission, target))

@@ -1,0 +1,123 @@
+"""Figure 5: gateway forwarding performance vs. path length and number
+of installed reservations.
+
+Paper result (one core): performance decreases with the number of
+on-path ASes {2, 4, 8, 16} (more HVFs to compute per packet, Eq. 6) and
+with the number of existing reservations r in {2^0, 2^10, 2^15, 2^17,
+2^20} (cache pressure on the reservation table); even the worst case
+(16 ASes, 2^20 reservations) still forwards 0.4 Mpps.  Packets arrive
+with *random* reservation IDs — the worst case for caching (§7.1).
+
+Shape targets: pps monotonically decreasing in path length; mild
+decrease with r; absolute numbers are Python-scale (kpps, not Mpps).
+r is capped at 2^17 here (2^20 gateway entries exceed a laptop-class
+memory budget in pure Python; the cache-pressure trend is visible well
+before that).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _helpers import report, throughput
+from repro.constants import EER_LIFETIME
+from repro.dataplane.gateway import ColibriGateway
+from repro.packets.fields import EerInfo, PathField, ResInfo
+from repro.reservation.ids import ReservationId
+from repro.topology.addresses import HostAddr, IsdAs
+from repro.util.clock import SimClock
+from repro.util.units import gbps
+
+BASE = 0xFF00_0000_0000
+SRC = IsdAs(1, BASE + 1)
+
+PATH_LENGTHS = [2, 4, 8, 16]
+RESERVATION_COUNTS = [1, 2**10, 2**15, 2**17]
+
+
+def build_gateway(path_length: int, reservations: int):
+    """A gateway with ``reservations`` installed EERs on ``path_length``-AS
+    paths.  HopAuths are synthetic (the gateway never verifies them; it
+    only MACs under them, so random keys exercise the same code path)."""
+    clock = SimClock(1000.0)
+    gateway = ColibriGateway(SRC, clock)
+    rng = random.Random(42)
+    pairs = [(0, 1)] + [(2, 3)] * (path_length - 2) + [(4, 0)]
+    path = PathField(tuple(pairs))  # shared: the path is not the sweep axis
+    eer_info = EerInfo(HostAddr(1), HostAddr(2))
+    expiry = clock.now() + EER_LIFETIME * 1000  # keep alive for the bench
+    ids = []
+    for index in range(reservations):
+        res_id = ReservationId(SRC, index + 1)
+        res_info = ResInfo(
+            reservation=res_id, bandwidth=gbps(1000), expiry=expiry, version=1
+        )
+        hop_auths = tuple(
+            rng.getrandbits(128).to_bytes(16, "big") for _ in range(path_length)
+        )
+        gateway.install(res_id, path, eer_info, res_info, hop_auths)
+        ids.append(res_id)
+    return gateway, ids
+
+
+def random_send(gateway: ColibriGateway, ids: list, rng: random.Random):
+    gateway.send(ids[rng.randrange(len(ids))], b"")
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_series(benchmark):
+    lines = [
+        f"{'on-path ASes':>13} | "
+        + " | ".join(f"r=2^{r.bit_length() - 1:<3}" for r in RESERVATION_COUNTS)
+    ]
+    by_length = {}
+    by_r = {}
+    for path_length in PATH_LENGTHS:
+        row = []
+        for reservations in RESERVATION_COUNTS:
+            gateway, ids = build_gateway(path_length, reservations)
+            rng = random.Random(7)
+            # Best of three samples: shared-host scheduler noise only
+            # ever slows a sample down.
+            pps = max(
+                throughput(lambda: random_send(gateway, ids, rng), duration=0.12)
+                for _ in range(3)
+            )
+            row.append(pps)
+            by_length.setdefault(reservations, {})[path_length] = pps
+            by_r.setdefault(path_length, {})[reservations] = pps
+        lines.append(
+            f"{path_length:>13} | "
+            + " | ".join(f"{v / 1000:6.1f}k" for v in row)
+        )
+    lines.append("(values: packets per second, one core, random reservation IDs)")
+    report("fig5_gateway", "Fig. 5 — gateway forwarding performance", lines)
+
+    # Shape: pps strictly decreases as paths lengthen (more Eq. 6 MACs).
+    for reservations, series in by_length.items():
+        ordered = [series[length] for length in PATH_LENGTHS]
+        assert ordered[0] > ordered[-1], (
+            f"pps should fall from 2 to 16 hops at r={reservations}: {ordered}"
+        )
+    # Shape: the 2^17-entry table is not meaningfully faster than the
+    # single-entry one.  (In Python the dict-scaling effect is weak —
+    # DESIGN.md §2 — so this is a direction check with noise headroom,
+    # unlike the paper's strong DPDK cache-pressure signal.)
+    for path_length, series in by_r.items():
+        assert series[RESERVATION_COUNTS[-1]] <= series[1] * 1.30, (
+            f"expected cache pressure at len={path_length}: {series}"
+        )
+
+    gateway, ids = build_gateway(4, 2**15)
+    rng = random.Random(7)
+    benchmark(lambda: random_send(gateway, ids, rng))
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_benchmark_gateway_worst_case(benchmark):
+    """The paper's stress point: long paths, large table."""
+    gateway, ids = build_gateway(16, 2**15)
+    rng = random.Random(7)
+    benchmark(lambda: random_send(gateway, ids, rng))

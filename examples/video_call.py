@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""An interactive video call: bidirectional reservations + latency SLO.
+
+Reservations are unidirectional (§3.3), so a call needs one per
+direction — asymmetric, because the downlink carries HD video while the
+uplink carries voice-grade video.  The §9 benefit is what the user
+feels: call latency stays flat while a best-effort flood hammers every
+on-path port.
+
+Run:  python examples/video_call.py
+"""
+
+from repro import ColibriNetwork, EndHost, HostAddr, IsdAs
+from repro.app import establish_bidirectional
+from repro.dataplane.queueing import TrafficClass
+from repro.sim import PathPipeline
+from repro.topology import build_two_isd_topology
+from repro.util.units import format_bandwidth, gbps, mbps
+
+BASE = 0xFF00_0000_0000
+ALICE_AS = IsdAs(1, BASE + 101)
+BOB_AS = IsdAs(2, BASE + 101)
+
+
+def main():
+    network = ColibriNetwork(build_two_isd_topology())
+    # Segment tubes in both directions.
+    network.reserve_segments(ALICE_AS, BOB_AS, gbps(1))
+    network.reserve_segments(BOB_AS, ALICE_AS, gbps(1))
+
+    alice = EndHost(network, ALICE_AS, HostAddr(1))
+    bob = EndHost(network, BOB_AS, HostAddr(2))
+    downlink, uplink = establish_bidirectional(
+        network, alice, bob, bandwidth_ab=mbps(6), bandwidth_ba=mbps(1.5)
+    )
+    print(
+        f"call established: {format_bandwidth(downlink.reserved_bandwidth)} down, "
+        f"{format_bandwidth(uplink.reserved_bandwidth)} up"
+    )
+
+    # Exchange some media both ways.
+    for _ in range(10):
+        assert downlink.send(b"v" * 700).delivered
+        assert uplink.send(b"a" * 180).delivered
+    print("media flowing both directions: "
+          f"{downlink.stats.delivered + uplink.stats.delivered} packets, 0 loss")
+
+    # Latency under attack: flood every on-path port with best effort.
+    pipeline = PathPipeline(network, downlink.handle, capacity=mbps(100))
+    clean = pipeline.send(b"v" * 700).latency
+    pipeline.load_cross_traffic(rate=mbps(800), duration=1.0)
+    under_attack = pipeline.send(b"v" * 700).latency
+    best_effort = pipeline.send(
+        b"v" * 700, traffic_class=TrafficClass.BEST_EFFORT
+    ).latency
+    print(f"\none-way latency, clean network:        {clean * 1000:7.2f} ms")
+    print(f"one-way latency, under 8x flood:       {under_attack * 1000:7.2f} ms")
+    print(f"(a best-effort call would now see:     {best_effort * 1000:7.2f} ms)")
+    assert under_attack < clean * 1.5
+    assert best_effort > under_attack * 50
+    print("\nthe call never noticed the attack.")
+
+
+if __name__ == "__main__":
+    main()

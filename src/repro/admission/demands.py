@@ -1,0 +1,88 @@
+"""Demand adjustment for SegR admission (§4.7).
+
+Colibri "distributes the capacity among competing SegRs proportionally to
+their adjusted bandwidth demand", where adjustment applies three caps:
+
+1. the total demand coming from an ingress interface is limited by that
+   interface's capacity;
+2. the demand between an ingress and an egress interface is limited by
+   the egress interface's capacity;
+3. the total demand of a particular source AS at a particular egress
+   interface is limited by that interface's capacity.
+
+Rules 1 and 3 are *aggregate* caps: when the sum over all reservations
+sharing an ingress (or a source-egress pair) exceeds the interface
+capacity, every member's demand is scaled down proportionally.  Rule 2 is
+a per-reservation cap.  The aggregates come from the memoized
+:class:`~repro.reservation.index.InterfacePairIndex`, which is what makes
+the whole adjustment O(1) per request.
+
+These caps yield the *botnet-size independence* of §5.2: no matter how
+many reservations an adversary (or colluding group behind one ingress)
+requests, their total adjusted demand at an egress stays bounded by the
+interface capacities, so the proportional share of a benign AS has a
+guaranteed floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.admission.traffic_matrix import TrafficMatrix
+from repro.reservation.index import InterfacePairIndex
+from repro.topology.addresses import IsdAs
+
+
+@dataclass(frozen=True)
+class AdjustedDemand:
+    """The outcome of demand adjustment for one SegR request."""
+
+    source: IsdAs
+    ingress: int
+    egress: int
+    requested: float
+    capped: float  # after per-reservation caps (rule 2 + interface bounds)
+    adjusted: float  # after aggregate scaling (rules 1 and 3)
+
+
+def adjust_demand(
+    matrix: TrafficMatrix,
+    index: InterfacePairIndex,
+    source: IsdAs,
+    ingress: int,
+    egress: int,
+    requested: float,
+) -> AdjustedDemand:
+    """Apply the three adjustment rules to one new demand.
+
+    The aggregate sums used for rules 1 and 3 include the new demand
+    itself, so a single source asking for the moon still ends up bounded
+    by the interface capacity rather than crowding the denominator.
+    """
+    if requested < 0:
+        raise ValueError(f"requested bandwidth must be non-negative, got {requested}")
+    in_cap = matrix.interface_capacity(ingress)
+    eg_cap = matrix.interface_capacity(egress)
+    pair_cap = matrix.pair_capacity(ingress, egress)
+
+    # Rule 2 (+ physical bounds): one reservation can never exceed the
+    # egress capacity, nor the pair allocation, nor its own request.
+    capped = min(requested, in_cap, eg_cap, pair_cap)
+
+    # Rule 1: scale by ingress crowding.
+    ingress_total = index.ingress_demand(ingress) + capped
+    ingress_factor = min(1.0, in_cap / ingress_total) if ingress_total > 0 else 1.0
+
+    # Rule 3: scale by this source's crowding at the egress.
+    source_total = index.source_demand(source, egress) + capped
+    source_factor = min(1.0, eg_cap / source_total) if source_total > 0 else 1.0
+
+    adjusted = capped * ingress_factor * source_factor
+    return AdjustedDemand(
+        source=source,
+        ingress=ingress,
+        egress=egress,
+        requested=requested,
+        capped=capped,
+        adjusted=adjusted,
+    )

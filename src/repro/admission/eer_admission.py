@@ -1,0 +1,220 @@
+"""EER admission per AS role (§4.7, Fig. 4).
+
+"The EER admission depends on the type of AS (§4.1)":
+
+* **source AS** — checks the first SegR *and* its intra-AS policy;
+* **transit AS** — checks only the SegR under the request ("this is
+  necessary to defend against malicious source ASes, which may forward
+  EEReqs for more bandwidth than available in the SegR");
+* **transfer AS** — checks both SegRs it joins, and between up- and
+  core-SegR distributes the core-SegR's bandwidth among competing
+  up-SegRs proportionally to their demand;
+* **destination AS** — same as the source AS (policy side applies to the
+  destination host accepting the EER).
+
+Every check is a constant number of O(1) reads against the reservation
+store's incrementally maintained sums — the flat lines of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.admission.policy import AdmissionPolicy, AllowAllPolicy
+from repro.errors import InsufficientBandwidth, ReservationExpired
+from repro.reservation.ids import ReservationId
+from repro.reservation.store import ReservationStore
+from repro.topology.addresses import HostAddr, IsdAs
+
+
+class AsRole(enum.Enum):
+    """Position of an AS relative to an EER's path (§4.1)."""
+
+    SOURCE = "source"
+    TRANSIT = "transit"
+    TRANSFER = "transfer"
+    DESTINATION = "destination"
+
+
+@dataclass(frozen=True)
+class EerDecision:
+    """Outcome of one AS's EER admission check."""
+
+    granted: float
+    role: AsRole
+    segments_checked: tuple
+
+
+class TransferDistributor:
+    """Proportional division of a core-SegR among competing up-SegRs (§4.7).
+
+    A transfer AS between up- and core-SegR tracks, per core-SegR, the
+    total EER demand arriving from each up-SegR (capped at that up-SegR's
+    bandwidth).  When the aggregate demand exceeds the core-SegR's
+    capacity, each up-SegR's share shrinks to
+    ``core_bw * demand(up) / total_demand``.
+    """
+
+    def __init__(self):
+        # core SegR id -> (up SegR id -> accumulated capped demand)
+        self._demands: dict[ReservationId, dict] = defaultdict(lambda: defaultdict(float))
+
+    def register_demand(
+        self,
+        core_segment: ReservationId,
+        up_segment: ReservationId,
+        amount: float,
+        up_capacity: float,
+    ) -> None:
+        demands = self._demands[core_segment]
+        demands[up_segment] = min(demands[up_segment] + amount, up_capacity)
+
+    def release_demand(
+        self, core_segment: ReservationId, up_segment: ReservationId, amount: float
+    ) -> None:
+        demands = self._demands.get(core_segment)
+        if not demands:
+            return
+        demands[up_segment] = max(0.0, demands[up_segment] - amount)
+
+    def total_demand(self, core_segment: ReservationId) -> float:
+        return sum(self._demands.get(core_segment, {}).values())
+
+    def quota(
+        self,
+        core_segment: ReservationId,
+        up_segment: ReservationId,
+        core_bandwidth: float,
+    ) -> float:
+        """Bandwidth of the core-SegR available to EERs from ``up_segment``."""
+        demands = self._demands.get(core_segment, {})
+        total = sum(demands.values())
+        if total <= core_bandwidth:
+            return core_bandwidth  # uncontended: no quota needed
+        share = demands.get(up_segment, 0.0)
+        return core_bandwidth * share / total if total > 0 else 0.0
+
+
+class EerAdmission:
+    """One AS's EER admission procedure over its reservation store."""
+
+    def __init__(
+        self,
+        isd_as: IsdAs,
+        store: ReservationStore,
+        source_policy: Optional[AdmissionPolicy] = None,
+        destination_policy: Optional[AdmissionPolicy] = None,
+    ):
+        self.isd_as = isd_as
+        self.store = store
+        self.source_policy = source_policy or AllowAllPolicy()
+        self.destination_policy = destination_policy or AllowAllPolicy()
+        self.distributor = TransferDistributor()
+        self.decisions = 0
+
+    # -- building blocks ---------------------------------------------------------
+
+    def _segment_available(self, segment_id: ReservationId, now: float) -> float:
+        """Free EER bandwidth on a SegR: active bandwidth minus admitted EERs."""
+        segment = self.store.get_segment(segment_id)
+        if segment.is_expired(now):
+            raise ReservationExpired(
+                f"SegR {segment_id} expired at {segment.expiry} (now {now})"
+            )
+        return segment.bandwidth - self.store.allocated_on_segment(segment_id)
+
+    def _check_segment(
+        self, segment_id: ReservationId, requested: float, now: float
+    ) -> float:
+        available = self._segment_available(segment_id, now)
+        if available < requested:
+            raise InsufficientBandwidth(
+                f"SegR {segment_id} has {available:.0f} bps free, "
+                f"EER requested {requested:.0f}",
+                granted=max(0.0, available),
+                at_as=self.isd_as,
+            )
+        return requested
+
+    # -- the role-specific decisions (§4.7) -----------------------------------------
+
+    def decide(
+        self,
+        role: AsRole,
+        requested: float,
+        now: float,
+        segment_in: Optional[ReservationId] = None,
+        segment_out: Optional[ReservationId] = None,
+        host: Optional[HostAddr] = None,
+        core_contention: bool = False,
+    ) -> EerDecision:
+        """Run the admission check for this AS's role on the request path.
+
+        ``segment_in``/``segment_out`` name the SegR the request arrives
+        on and departs on; source ASes only have ``segment_out``,
+        destinations only ``segment_in``, transits exactly one of the two
+        (the same SegR), transfers both.  With ``core_contention`` a
+        transfer AS additionally applies the proportional up-SegR quota
+        against the outgoing core-SegR.
+        """
+        self.decisions += 1
+        checked = []
+        if role is AsRole.SOURCE:
+            if host is not None:
+                self.source_policy.authorize(host, requested)
+            try:
+                granted = self._check_segment(segment_out, requested, now)
+            except Exception:
+                if host is not None:
+                    self.source_policy.release(host, requested)
+                raise
+            checked.append(segment_out)
+        elif role is AsRole.TRANSIT:
+            segment = segment_in if segment_in is not None else segment_out
+            granted = self._check_segment(segment, requested, now)
+            checked.append(segment)
+        elif role is AsRole.TRANSFER:
+            granted = self._check_segment(segment_in, requested, now)
+            checked.append(segment_in)
+            if core_contention:
+                up_segment = self.store.get_segment(segment_in)
+                core_segment = self.store.get_segment(segment_out)
+                quota = self.distributor.quota(
+                    segment_out, segment_in, core_segment.bandwidth
+                )
+                already = self.store.allocated_on_segment(segment_out)
+                if requested > quota - min(already, quota):
+                    raise InsufficientBandwidth(
+                        f"up-SegR {segment_in} quota on core-SegR {segment_out} "
+                        f"is {quota:.0f} bps",
+                        granted=max(0.0, quota - already),
+                        at_as=self.isd_as,
+                    )
+                self.distributor.register_demand(
+                    segment_out, segment_in, requested, up_segment.bandwidth
+                )
+            granted = min(granted, self._check_segment(segment_out, requested, now))
+            checked.append(segment_out)
+        elif role is AsRole.DESTINATION:
+            if host is not None:
+                self.destination_policy.authorize(host, requested)
+            try:
+                granted = self._check_segment(segment_in, requested, now)
+            except Exception:
+                if host is not None:
+                    self.destination_policy.release(host, requested)
+                raise
+            checked.append(segment_in)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown role {role}")
+        return EerDecision(granted=granted, role=role, segments_checked=tuple(checked))
+
+    def commit(
+        self, eer_id: ReservationId, decision: EerDecision, bandwidth: float
+    ) -> None:
+        """Record the admitted EER's bandwidth on every checked SegR."""
+        for segment_id in decision.segments_checked:
+            self.store.allocate_on_segment(segment_id, eer_id, bandwidth)

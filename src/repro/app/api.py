@@ -1,0 +1,43 @@
+"""One-call convenience helpers over the full stack.
+
+For notebooks, examples and quick experiments: build a network, reserve,
+send — three lines.  Production users compose the underlying pieces
+directly (see README architecture section).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.app.host import EndHost, SendStats
+from repro.sim.scenario import ColibriNetwork
+from repro.topology.addresses import HostAddr, IsdAs
+from repro.topology.generator import build_two_isd_topology
+from repro.util.units import mbps
+
+
+def quick_network() -> ColibriNetwork:
+    """A ready-to-use two-ISD Colibri deployment (the Fig. 1 shape)."""
+    return ColibriNetwork(build_two_isd_topology())
+
+
+def reserve_and_send(
+    network: ColibriNetwork,
+    source: IsdAs,
+    destination: IsdAs,
+    bandwidth: float = mbps(10),
+    payload: bytes = b"hello colibri",
+    segment_bandwidth: Optional[float] = None,
+) -> SendStats:
+    """End-to-end happy path: SegRs -> EER -> one data packet.
+
+    Returns the socket's send statistics; raises the library's typed
+    errors on any failure, so callers see exactly which stage refused.
+    """
+    if segment_bandwidth is None:
+        segment_bandwidth = bandwidth * 10
+    network.reserve_segments(source, destination, segment_bandwidth)
+    host = EndHost(network, source, HostAddr(1))
+    socket = host.connect(destination, HostAddr(2), bandwidth)
+    socket.send(payload)
+    return socket.stats

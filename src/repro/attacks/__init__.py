@@ -1,0 +1,18 @@
+"""Adversary implementations for the DDoS-resilience analysis (§5).
+
+Each attack class drives a :class:`~repro.sim.scenario.ColibriNetwork`
+the way the corresponding adversary of §2's model would, and reports what
+it achieved — tests then assert the paper's defence claims hold.
+"""
+
+from repro.attacks.ddos import VolumetricAttack
+from repro.attacks.doc import DocAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.spoofing import SpoofingAttack
+
+__all__ = [
+    "VolumetricAttack",
+    "ReplayAttack",
+    "SpoofingAttack",
+    "DocAttack",
+]

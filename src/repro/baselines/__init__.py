@@ -1,0 +1,20 @@
+"""Baseline architectures Colibri is compared against (§1, §8).
+
+* :mod:`repro.baselines.intserv` — an RSVP-style per-flow-state system:
+  strong guarantees, per-flow state on every router (the scalability
+  failure Colibri's stateless data plane removes);
+* :mod:`repro.baselines.diffserv` — a ToS-marking priority system: no
+  admission, no authentication, hence no guarantees under adversarial
+  marking (the security failure Colibri's cryptography removes).
+"""
+
+from repro.baselines.diffserv import DiffServRouter, DscpClass
+from repro.baselines.intserv import IntServNetwork, IntServRouter, RsvpSession
+
+__all__ = [
+    "IntServNetwork",
+    "IntServRouter",
+    "RsvpSession",
+    "DiffServRouter",
+    "DscpClass",
+]

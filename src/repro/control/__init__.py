@@ -1,0 +1,41 @@
+"""Colibri control plane: the CServ and its supporting machinery."""
+
+from repro.control.billing import BillingAgent, Invoice, PricingModel, UsageLedger
+from repro.control.cserv import ColibriService
+from repro.control.forecast import TrafficForecaster
+from repro.control.multipath import (
+    FallbackResult,
+    MultipathEer,
+    reserve_segments_with_fallback,
+)
+from repro.control.dissemination import SegmentDescriptor, SegmentRegistry
+from repro.control.distributed import DistributedCServ
+from repro.control.protected import (
+    ControlDelivery,
+    build_control_packet,
+    walk_control_packet,
+)
+from repro.control.rate_limit import RateLimiter
+from repro.control.renewal import RenewalScheduler
+from repro.control.rpc import MessageBus
+
+__all__ = [
+    "ColibriService",
+    "MessageBus",
+    "SegmentRegistry",
+    "SegmentDescriptor",
+    "RateLimiter",
+    "RenewalScheduler",
+    "DistributedCServ",
+    "TrafficForecaster",
+    "BillingAgent",
+    "UsageLedger",
+    "PricingModel",
+    "Invoice",
+    "MultipathEer",
+    "FallbackResult",
+    "reserve_segments_with_fallback",
+    "build_control_packet",
+    "walk_control_packet",
+    "ControlDelivery",
+]

@@ -1,0 +1,191 @@
+"""Neighbor-to-neighbor settlement (§4.7, §9).
+
+"Any two neighboring ASes agree on the bandwidth available for Colibri
+traffic on their inter-domain link and negotiate the pricing model.
+These typically long-term contractual agreements — in the order of
+months — are always bilateral" … "billing can be implemented with
+scalable neighbor-to-neighbor settlements, similarly to today's AS
+peering agreements" (§9).
+
+The model: each AS keeps a :class:`UsageLedger` per neighbor interface.
+Whenever a SegR is granted (or renewed) over an interface pair, the
+ledger accrues *reserved bandwidth × time* against the upstream
+neighbor the traffic arrives from — the locality property the paper
+stresses: no end-to-end information, no multilateral clearing.  At the
+end of a billing period, :meth:`UsageLedger.settle` prices the accrued
+gigabit-seconds under the bilateral :class:`PricingModel` and emits an
+:class:`Invoice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.reservation.ids import ReservationId
+from repro.topology.addresses import IsdAs
+from repro.util.units import GBPS
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """One bilateral contract: price per gigabit-second, plus a flat
+    per-period base fee (the 'long-term contractual agreement')."""
+
+    price_per_gbit_second: float
+    base_fee: float = 0.0
+
+    def price(self, gbit_seconds: float) -> float:
+        if gbit_seconds < 0:
+            raise ValueError(f"usage must be non-negative, got {gbit_seconds}")
+        return self.base_fee + gbit_seconds * self.price_per_gbit_second
+
+
+@dataclass(frozen=True)
+class Invoice:
+    """One settlement: issuer bills neighbor for a closed period."""
+
+    issuer: IsdAs
+    neighbor: IsdAs
+    period_start: float
+    period_end: float
+    gbit_seconds: float
+    amount: float
+    line_items: tuple  # ((reservation_id, gbit_seconds), ...) largest first
+
+
+@dataclass
+class _Accrual:
+    """An open accrual for one reservation's current bandwidth."""
+
+    reservation_id: ReservationId
+    bandwidth: float  # bits per second currently reserved
+    since: float  # accruing from this time
+
+
+class UsageLedger:
+    """Per-neighbor accrual of reserved bandwidth x time.
+
+    Driven by three events: :meth:`start` when a SegR is granted,
+    :meth:`adjust` when a renewal activates a different bandwidth, and
+    :meth:`stop` when it expires or is torn down.  :meth:`settle` closes
+    the period.
+    """
+
+    def __init__(self, issuer: IsdAs, neighbor: IsdAs, pricing: PricingModel):
+        self.issuer = issuer
+        self.neighbor = neighbor
+        self.pricing = pricing
+        self._open: dict[ReservationId, _Accrual] = {}
+        self._closed_gbit_seconds: dict[ReservationId, float] = {}
+        self._period_start: Optional[float] = None
+
+    def _accrue(self, accrual: _Accrual, until: float) -> None:
+        elapsed = max(0.0, until - accrual.since)
+        gbit_seconds = accrual.bandwidth * elapsed / GBPS
+        self._closed_gbit_seconds[accrual.reservation_id] = (
+            self._closed_gbit_seconds.get(accrual.reservation_id, 0.0) + gbit_seconds
+        )
+        accrual.since = until
+
+    def start(self, reservation_id: ReservationId, bandwidth: float, now: float) -> None:
+        if self._period_start is None:
+            self._period_start = now
+        existing = self._open.get(reservation_id)
+        if existing is not None:
+            self._accrue(existing, now)
+            existing.bandwidth = bandwidth
+            return
+        self._open[reservation_id] = _Accrual(
+            reservation_id=reservation_id, bandwidth=bandwidth, since=now
+        )
+
+    def adjust(self, reservation_id: ReservationId, bandwidth: float, now: float) -> None:
+        """A renewal activated a new bandwidth: close the old accrual
+        rate and continue at the new one."""
+        accrual = self._open.get(reservation_id)
+        if accrual is None:
+            self.start(reservation_id, bandwidth, now)
+            return
+        self._accrue(accrual, now)
+        accrual.bandwidth = bandwidth
+
+    def stop(self, reservation_id: ReservationId, now: float) -> None:
+        accrual = self._open.pop(reservation_id, None)
+        if accrual is not None:
+            self._accrue(accrual, now)
+
+    def accrued_gbit_seconds(self, now: float) -> float:
+        total = sum(self._closed_gbit_seconds.values())
+        for accrual in self._open.values():
+            total += accrual.bandwidth * max(0.0, now - accrual.since) / GBPS
+        return total
+
+    def settle(self, now: float) -> Invoice:
+        """Close the billing period and emit the invoice."""
+        for accrual in self._open.values():
+            self._accrue(accrual, now)
+        items = sorted(
+            self._closed_gbit_seconds.items(), key=lambda kv: kv[1], reverse=True
+        )
+        total = sum(usage for _, usage in items)
+        invoice = Invoice(
+            issuer=self.issuer,
+            neighbor=self.neighbor,
+            period_start=self._period_start if self._period_start is not None else now,
+            period_end=now,
+            gbit_seconds=total,
+            amount=self.pricing.price(total),
+            line_items=tuple(items),
+        )
+        self._closed_gbit_seconds.clear()
+        self._period_start = now if self._open else None
+        return invoice
+
+
+class BillingAgent:
+    """One AS's billing state: a ledger per neighbor interface.
+
+    Hook it to a CServ by calling :meth:`on_grant` / :meth:`on_adjust` /
+    :meth:`on_release` from the reservation lifecycle (the integration
+    tests show the wiring).  The ingress interface identifies which
+    bilateral contract the usage bills to — the neighbor the Colibri
+    traffic arrives from pays, mirroring provider-customer settlement.
+    """
+
+    def __init__(self, isd_as: IsdAs, default_pricing: PricingModel):
+        self.isd_as = isd_as
+        self.default_pricing = default_pricing
+        self._pricing: dict[IsdAs, PricingModel] = {}
+        self._ledgers: dict[IsdAs, UsageLedger] = {}
+
+    def set_pricing(self, neighbor: IsdAs, pricing: PricingModel) -> None:
+        self._pricing[neighbor] = pricing
+
+    def ledger_for(self, neighbor: IsdAs) -> UsageLedger:
+        ledger = self._ledgers.get(neighbor)
+        if ledger is None:
+            pricing = self._pricing.get(neighbor, self.default_pricing)
+            ledger = UsageLedger(self.isd_as, neighbor, pricing)
+            self._ledgers[neighbor] = ledger
+        return ledger
+
+    def on_grant(
+        self, neighbor: IsdAs, reservation_id: ReservationId, bandwidth: float, now: float
+    ) -> None:
+        self.ledger_for(neighbor).start(reservation_id, bandwidth, now)
+
+    def on_adjust(
+        self, neighbor: IsdAs, reservation_id: ReservationId, bandwidth: float, now: float
+    ) -> None:
+        self.ledger_for(neighbor).adjust(reservation_id, bandwidth, now)
+
+    def on_release(self, neighbor: IsdAs, reservation_id: ReservationId, now: float) -> None:
+        self.ledger_for(neighbor).stop(reservation_id, now)
+
+    def settle_all(self, now: float) -> list:
+        """Close the period with every neighbor; returns the invoices."""
+        return [
+            ledger.settle(now)
+            for ledger in self._ledgers.values()
+        ]

@@ -1,0 +1,1175 @@
+"""The Colibri service (CServ) — one per AS (§3.2, §3.3, §4.4).
+
+The CServ handles every control-plane task of its AS:
+
+* initiating SegR setups, renewals and activations for the AS's expected
+  traffic, and serving as on-path grantor for other ASes' requests;
+* initiating EER setups and renewals on behalf of local end hosts, and
+  deciding EER admission in its on-path roles (§4.7);
+* registering and disseminating SegRs with hierarchical caching
+  (Appendix C);
+* defending itself: DRKey authentication of every request, per-source-AS
+  rate limiting, per-EER renewal limiting, and the punitive denial of
+  reservations from ASes caught overusing (§4.8, §5.3).
+
+Requests travel hop by hop: the initiator processes itself as AS0, then
+each AS forwards over the :class:`~repro.control.rpc.MessageBus` to the
+next; responses unwind along the reverse path, exactly the ➋/➌/➍
+choreography of Fig. 1.  Grants are evaluated on the forward pass and
+committed on the (successful) unwind, so a failed setup leaves no
+temporary reservations behind (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.admission.eer_admission import AsRole, EerAdmission, EerDecision
+from repro.admission.policy import AdmissionPolicy
+from repro.admission.traffic_matrix import TrafficMatrix
+from repro.admission.tube_fairness import SegmentAdmission, SegmentGrant
+from repro.constants import (
+    EER_LIFETIME,
+    EER_RENEWAL_MIN_INTERVAL,
+    SEGR_LIFETIME,
+)
+from repro.control.auth import AuthenticatedRequest
+from repro.control.dissemination import SegmentDescriptor, SegmentRegistry
+from repro.control.rate_limit import RateLimiter
+from repro.control.rpc import MessageBus
+from repro.crypto.aead import aead_open, aead_seal
+from repro.crypto.keyserver import KeyServerDirectory
+from repro.dataplane.gateway import ColibriGateway
+from repro.dataplane.hvf import ColibriKeys, hop_authenticator, segment_token
+from repro.errors import (
+    AdmissionDenied,
+    ColibriError,
+    InsufficientBandwidth,
+    NoPathError,
+    PolicyDenied,
+    ReservationExpired,
+    ReservationNotFound,
+)
+from repro.packets.control import (
+    SEGMENT_TYPE_CODES,
+    AsGrant,
+    EerRenewalRequest,
+    EerSetupRequest,
+    EerSetupResponse,
+    SegActivationRequest,
+    SegRenewalRequest,
+    SegSetupRequest,
+    SegSetupResponse,
+    SegTeardownNotice,
+)
+from repro.packets.fields import EerInfo, PathField, ResInfo
+from repro.reservation.e2e import E2EReservation, E2EVersion
+from repro.reservation.ids import ReservationId
+from repro.reservation.segment import SegmentReservation, SegmentVersion
+from repro.reservation.store import ReservationStore
+from repro.topology.addresses import HostAddr, IsdAs
+from repro.topology.graph import ASNode, Topology
+from repro.topology.paths import combine_segments
+from repro.topology.segments import Segment, SegmentType
+from repro.util.clock import Clock
+from repro.util.sequence import SequenceAllocator
+
+#: Default per-source-AS request rate at the CServ (§5.3).
+DEFAULT_REQUEST_RATE = 1000.0
+#: How long cached remote SegR descriptors stay fresh (Appendix C).
+REMOTE_CACHE_TTL = 10.0
+
+_SEGMENT_TYPE_TO_CODE = {
+    SegmentType.UP: SEGMENT_TYPE_CODES["up"],
+    SegmentType.DOWN: SEGMENT_TYPE_CODES["down"],
+    SegmentType.CORE: SEGMENT_TYPE_CODES["core"],
+}
+_CODE_TO_SEGMENT_TYPE = {code: st for st, code in _SEGMENT_TYPE_TO_CODE.items()}
+
+
+@dataclass
+class EerHandle:
+    """What the initiating CServ returns to the end host after EER setup."""
+
+    reservation_id: ReservationId
+    res_info: ResInfo
+    eer_info: EerInfo
+    hops: tuple
+    segment_ids: tuple
+    granted: float
+
+
+class ColibriService:
+    """The per-AS Colibri control-plane service."""
+
+    def __init__(
+        self,
+        node: ASNode,
+        clock: Clock,
+        keys: ColibriKeys,
+        directory: KeyServerDirectory,
+        bus: MessageBus,
+        topology: Optional[Topology] = None,
+        gateway: Optional[ColibriGateway] = None,
+        source_policy: Optional[AdmissionPolicy] = None,
+        destination_policy: Optional[AdmissionPolicy] = None,
+        host_acceptor: Optional[Callable] = None,
+        request_rate: float = DEFAULT_REQUEST_RATE,
+    ):
+        self.node = node
+        self.isd_as = node.isd_as
+        self.clock = clock
+        self.keys = keys
+        self.directory = directory
+        self.bus = bus
+        self.topology = topology
+        self.gateway = gateway
+
+        self.store = ReservationStore()
+        self.matrix = TrafficMatrix(node)
+        self.seg_admission = SegmentAdmission(self.matrix)
+        self.eer_admission = EerAdmission(
+            self.isd_as, self.store, source_policy, destination_policy
+        )
+        self.registry = SegmentRegistry()
+        self._remote_cache: dict = {}  # (first, last) -> (descriptors, fetched_at)
+        self._ids = SequenceAllocator()
+        self._segment_tokens: dict[ReservationId, tuple] = {}
+        self.request_limiter = RateLimiter(request_rate)
+        self.renewal_limiter = RateLimiter(1.0 / EER_RENEWAL_MIN_INTERVAL)
+        #: ASes caught overusing: future reservations are denied (§4.8).
+        self.denied_sources: set = set()
+        #: Destination-host acceptance of incoming EERs (§4.4): called with
+        #: (EerInfo, bandwidth), returns True to accept.
+        self.host_acceptor = host_acceptor or (lambda eer_info, bandwidth: True)
+        self.offenses_reported = 0
+
+        bus.register(self.isd_as, self)
+
+    # ------------------------------------------------------------------ utils --
+
+    def _now(self) -> float:
+        return self.clock.now()
+
+    def _hop_of(self, hops: tuple, hop_index: int):
+        hop = hops[hop_index]
+        if hop.isd_as != self.isd_as:
+            raise ColibriError(
+                f"request routed to AS {self.isd_as} but hop {hop_index} "
+                f"names {hop.isd_as}"
+            )
+        return hop
+
+    def _admission_gate(self, source: IsdAs, now: float) -> None:
+        """The §5.3 front door: denied sources and per-AS rate limiting."""
+        if source in self.denied_sources:
+            raise AdmissionDenied(
+                f"AS {source} is denied reservations at {self.isd_as} "
+                "due to confirmed overuse",
+                at_as=self.isd_as,
+            )
+        self.request_limiter.check(source, now)
+
+    # ================================================================== SegRs ==
+
+    def setup_segment(
+        self,
+        segment: Segment,
+        bandwidth: float,
+        minimum: float = 0.0,
+        register: bool = True,
+        whitelist: Optional[set] = None,
+    ) -> SegmentReservation:
+        """Initiate a SegR over ``segment`` (Fig. 1a).
+
+        Returns the stored reservation on success; raises
+        :class:`AdmissionDenied` carrying the bottleneck grants otherwise.
+        """
+        if segment.first_as != self.isd_as:
+            raise ColibriError(
+                f"AS {self.isd_as} can only initiate SegRs starting at itself, "
+                f"segment starts at {segment.first_as}"
+            )
+        now = self._now()
+        res_id = ReservationId(self.isd_as, self._ids.allocate())
+        res_info = ResInfo(
+            reservation=res_id,
+            bandwidth=bandwidth,
+            expiry=now + SEGR_LIFETIME,
+            version=1,
+        )
+        request = SegSetupRequest(
+            res_info=res_info,
+            hops=segment.hops,
+            min_bandwidth=minimum,
+            segment_type=_SEGMENT_TYPE_TO_CODE[segment.segment_type],
+        )
+        auth = AuthenticatedRequest.create(
+            self.directory, self.isd_as, list(segment.ases), request, now
+        )
+        response = self.handle_seg_setup(request, auth, 0)
+        if not response.success:
+            bottleneck = min(response.grants, key=lambda g: g.granted, default=None)
+            raise InsufficientBandwidth(
+                f"SegR setup failed; bottleneck at "
+                f"{bottleneck.isd_as if bottleneck else 'unknown'} "
+                f"granting {bottleneck.granted if bottleneck else 0.0:.0f} bps",
+                granted=bottleneck.granted if bottleneck else 0.0,
+                at_as=bottleneck.isd_as if bottleneck else None,
+            )
+        auth.verify_grants(self.directory, response.grants, now)
+        self._segment_tokens[res_id] = response.tokens
+        reservation = self.store.get_segment(res_id)
+        if register:
+            self.registry.register(SegmentDescriptor.of(reservation), whitelist)
+        return reservation
+
+    def handle_seg_setup(
+        self, request: SegSetupRequest, auth: AuthenticatedRequest, hop_index: int
+    ) -> SegSetupResponse:
+        """On-path processing of a SegReq (➋ of Fig. 1a) and its response."""
+        now = self._now()
+        hop = self._hop_of(request.hops, hop_index)
+        source = request.res_info.src_as
+        if hop_index > 0:
+            self._admission_gate(source, now)
+            auth.verify_at(self.keys, now)
+
+        try:
+            grant = self.seg_admission.evaluate(
+                request.res_info.reservation,
+                source,
+                hop.ingress,
+                hop.egress,
+                request.res_info.bandwidth,
+            )
+        except ColibriError:
+            grant = None
+        offered = grant.granted if grant is not None else 0.0
+        as_grant = AsGrant(self.isd_as, offered)
+        forwarded = request.with_grant(as_grant)
+        auth.add_grant_mac(self.keys, as_grant, now)
+
+        if offered < request.min_bandwidth:
+            # This AS is the bottleneck: fail immediately, do not bother
+            # downstream ASes (they would clean up anyway).
+            return SegSetupResponse(
+                res_info=request.res_info,
+                success=False,
+                granted=0.0,
+                grants=forwarded.grants,
+            )
+
+        if hop_index == len(request.hops) - 1:
+            final = min(g.granted for g in forwarded.grants)
+            success = final >= request.min_bandwidth and final > 0
+            response = SegSetupResponse(
+                res_info=replace(request.res_info, bandwidth=final),
+                success=success,
+                granted=final,
+                grants=forwarded.grants,
+            )
+        else:
+            next_as = request.hops[hop_index + 1].isd_as
+            response = self.bus.call(
+                next_as, "handle_seg_setup", forwarded, auth, hop_index + 1
+            )
+
+        if response.success:
+            final_info = response.res_info
+            committed = SegmentGrant(
+                reservation_id=grant.reservation_id,
+                demand=grant.demand,
+                granted=response.granted,
+            )
+            with self.store.transaction():
+                self.seg_admission.commit(committed)
+                segment = Segment.from_hops(
+                    _CODE_TO_SEGMENT_TYPE[request.segment_type], request.hops
+                )
+                self.store.add_segment(
+                    SegmentReservation(
+                        reservation_id=final_info.reservation,
+                        segment=segment,
+                        first_version=SegmentVersion(
+                            version=final_info.version,
+                            bandwidth=response.granted,
+                            expiry=final_info.expiry,
+                        ),
+                    )
+                )
+            token = segment_token(
+                self.keys.hop_key(now), final_info, hop.ingress, hop.egress
+            )
+            response = replace(response, tokens=(token,) + response.tokens)
+        return response
+
+    # -- renewal and activation (§4.2, §4.4) ----------------------------------------
+
+    def renew_segment(
+        self,
+        reservation_id: ReservationId,
+        new_bandwidth: float,
+        minimum: float = 0.0,
+    ) -> int:
+        """Request a new (pending) version of an own SegR over the SegR
+        itself; returns the pending version number."""
+        now = self._now()
+        reservation = self.store.get_segment(reservation_id)
+        new_version = reservation.next_version_number()
+        request = SegRenewalRequest(
+            reservation=reservation_id,
+            new_bandwidth=new_bandwidth,
+            min_bandwidth=minimum,
+            new_expiry=now + SEGR_LIFETIME,
+            new_version=new_version,
+        )
+        auth = AuthenticatedRequest.create(
+            self.directory, self.isd_as, list(reservation.segment.ases), request, now
+        )
+        response = self.handle_seg_renewal(request, auth, 0)
+        if not response.success:
+            bottleneck = min(response.grants, key=lambda g: g.granted, default=None)
+            raise InsufficientBandwidth(
+                f"SegR renewal failed; bottleneck at "
+                f"{bottleneck.isd_as if bottleneck else 'unknown'}",
+                granted=bottleneck.granted if bottleneck else 0.0,
+                at_as=bottleneck.isd_as if bottleneck else None,
+            )
+        self._segment_tokens[reservation_id] = response.tokens
+        return new_version
+
+    def handle_seg_renewal(
+        self, request: SegRenewalRequest, auth: AuthenticatedRequest, hop_index: int
+    ) -> SegSetupResponse:
+        now = self._now()
+        try:
+            reservation = self.store.get_segment(request.reservation)
+        except ReservationNotFound:
+            return SegSetupResponse(
+                res_info=ResInfo(
+                    reservation=request.reservation,
+                    bandwidth=0.0,
+                    expiry=request.new_expiry,
+                    version=request.new_version,
+                ),
+                success=False,
+                granted=0.0,
+                grants=request.grants,
+            )
+        hop = reservation.segment.hop_of(self.isd_as)
+        source = request.reservation.src_as
+        if hop_index > 0:
+            self._admission_gate(source, now)
+            auth.verify_at(self.keys, now)
+
+        # Renewal re-runs admission; the evaluator excludes this SegR's
+        # current demand so it competes fairly ("on-path ASes can also
+        # re-negotiate the bandwidth granted", §4.4).
+        grant = self.seg_admission.evaluate(
+            request.reservation, source, hop.ingress, hop.egress, request.new_bandwidth
+        )
+        as_grant = AsGrant(self.isd_as, grant.granted)
+        forwarded = request.with_grant(as_grant)
+        auth.add_grant_mac(self.keys, as_grant, now)
+
+        new_info = ResInfo(
+            reservation=request.reservation,
+            bandwidth=grant.granted,
+            expiry=request.new_expiry,
+            version=request.new_version,
+        )
+        if grant.granted < request.min_bandwidth:
+            return SegSetupResponse(
+                res_info=new_info, success=False, granted=0.0, grants=forwarded.grants
+            )
+
+        hops = reservation.segment.hops
+        if hop_index == len(hops) - 1:
+            final = min(g.granted for g in forwarded.grants)
+            success = final >= request.min_bandwidth and final > 0
+            response = SegSetupResponse(
+                res_info=replace(new_info, bandwidth=final),
+                success=success,
+                granted=final,
+                grants=forwarded.grants,
+            )
+        else:
+            next_as = hops[hop_index + 1].isd_as
+            response = self.bus.call(
+                next_as, "handle_seg_renewal", forwarded, auth, hop_index + 1
+            )
+
+        if response.success:
+            reservation.add_pending(
+                SegmentVersion(
+                    version=request.new_version,
+                    bandwidth=response.granted,
+                    expiry=request.new_expiry,
+                )
+            )
+            token = segment_token(
+                self.keys.hop_key(now), response.res_info, hop.ingress, hop.egress
+            )
+            response = replace(response, tokens=(token,) + response.tokens)
+        return response
+
+    def teardown_segment(self, reservation_id: ReservationId) -> None:
+        """Advisory early removal of an own SegR (extension; the paper
+        lets SegRs expire naturally, §4.2).  Frees bandwidth along the
+        whole segment immediately — useful when an AS retires a segment
+        after re-homing its traffic.  Refused while EERs still ride the
+        SegR (they hold granted bandwidth until they expire)."""
+        reservation = self.store.get_segment(reservation_id)
+        if self.store.allocated_on_segment(reservation_id) > 0:
+            raise ColibriError(
+                f"SegR {reservation_id} still carries admitted EER bandwidth; "
+                "let them expire first"
+            )
+        request = SegTeardownNotice(reservation=reservation_id)
+        now = self._now()
+        auth = AuthenticatedRequest.create(
+            self.directory, self.isd_as, list(reservation.segment.ases), request, now
+        )
+        self.handle_seg_teardown(request, auth, 0)
+
+    def handle_seg_teardown(
+        self, request: SegTeardownNotice, auth: AuthenticatedRequest, hop_index: int
+    ) -> bool:
+        now = self._now()
+        try:
+            reservation = self.store.get_segment(request.reservation)
+        except ReservationNotFound:
+            return False
+        if hop_index > 0:
+            auth.verify_at(self.keys, now)
+        # Only the initiator may retire its reservation.
+        if request.reservation.src_as != auth.source:
+            raise AdmissionDenied(
+                f"teardown of {request.reservation} not requested by its owner"
+            )
+        if self.store.allocated_on_segment(request.reservation) > 0:
+            return False  # EERs still riding: keep until they expire
+        hops = reservation.segment.hops
+        if hop_index < len(hops) - 1:
+            self.bus.call(
+                hops[hop_index + 1].isd_as,
+                "handle_seg_teardown",
+                request,
+                auth,
+                hop_index + 1,
+            )
+        self.seg_admission.release(request.reservation)
+        self.store.remove_segment(request.reservation)
+        self.registry.unregister(request.reservation)
+        self._segment_tokens.pop(request.reservation, None)
+        return True
+
+    def activate_segment(self, reservation_id: ReservationId, version: int) -> None:
+        """Explicitly switch an own SegR to a pending version everywhere."""
+        reservation = self.store.get_segment(reservation_id)
+        request = SegActivationRequest(reservation=reservation_id, version=version)
+        now = self._now()
+        auth = AuthenticatedRequest.create(
+            self.directory, self.isd_as, list(reservation.segment.ases), request, now
+        )
+        self.handle_seg_activation(request, auth, 0)
+        try:
+            self.registry.update(SegmentDescriptor.of(reservation))
+        except KeyError:
+            pass  # unregistered (private) SegRs have nothing to refresh
+
+    def handle_seg_activation(
+        self, request: SegActivationRequest, auth: AuthenticatedRequest, hop_index: int
+    ) -> bool:
+        now = self._now()
+        reservation = self.store.get_segment(request.reservation)
+        if hop_index > 0:
+            auth.verify_at(self.keys, now)
+        hops = reservation.segment.hops
+        # Activate downstream first: if any AS refuses (e.g. the version
+        # expired under clock skew), upstream ASes keep the old version.
+        if hop_index < len(hops) - 1:
+            self.bus.call(
+                hops[hop_index + 1].isd_as,
+                "handle_seg_activation",
+                request,
+                auth,
+                hop_index + 1,
+            )
+        previous = reservation.active
+        new = reservation.activate(request.version, now)
+        # Committed admission state must track the active version's size.
+        if request.reservation in self.seg_admission.index:
+            entry = self.seg_admission.index.entry(request.reservation)
+            hop = reservation.segment.hop_of(self.isd_as)
+            grant = self.seg_admission.evaluate(
+                request.reservation,
+                request.reservation.src_as,
+                hop.ingress,
+                hop.egress,
+                new.bandwidth,
+            )
+            self.seg_admission.commit(
+                SegmentGrant(
+                    reservation_id=request.reservation,
+                    demand=grant.demand,
+                    granted=new.bandwidth,
+                )
+            )
+        del previous
+        return True
+
+    # ================================================================== EERs ==
+
+    def setup_eer(
+        self,
+        destination: IsdAs,
+        src_host: HostAddr,
+        dst_host: HostAddr,
+        bandwidth: float,
+        chain=None,
+        retries: int = 1,
+    ) -> EerHandle:
+        """Initiate an EER for a local host (Fig. 1b).
+
+        Finds a SegR chain to ``destination`` (Appendix C) — or uses the
+        explicit ``(descriptors, path)`` pair a multipath caller picked —
+        runs the hop-by-hop admission, decrypts the returned HopAuths
+        (Eq. 5) and installs the reservation in the local gateway.
+
+        When the failure looks like stale cached remote SegRs (Appendix
+        C: "the remote CServ can indicate expiry of the SegR during
+        setup of the EER, allowing the end host to retry"), the cache is
+        invalidated and the chain search re-run up to ``retries`` times.
+        """
+        now = self._now()
+        descriptors, path = chain if chain is not None else self.find_segment_chain(
+            destination
+        )
+        res_id = ReservationId(self.isd_as, self._ids.allocate())
+        res_info = ResInfo(
+            reservation=res_id,
+            bandwidth=bandwidth,
+            expiry=now + EER_LIFETIME,
+            version=1,
+        )
+        eer_info = EerInfo(src_host=src_host, dst_host=dst_host)
+        request = EerSetupRequest(
+            res_info=res_info,
+            eer_info=eer_info,
+            hops=path.hops,
+            segment_ids=tuple(d.reservation_id for d in descriptors),
+        )
+        auth = AuthenticatedRequest.create(
+            self.directory, self.isd_as, list(path.ases), request, now
+        )
+        response = self.handle_eer_setup(request, auth, 0)
+        if not response.success:
+            # A stale cached SegR is one failure cause (Appendix C):
+            # invalidate the cache so a retry refetches fresh descriptors.
+            self._invalidate_remote_cache(descriptors)
+            expiry_soon = any(d.is_expired(now) for d in descriptors)
+            if retries > 0 and chain is None and expiry_soon:
+                return self.setup_eer(
+                    destination,
+                    src_host,
+                    dst_host,
+                    bandwidth,
+                    retries=retries - 1,
+                )
+            bottleneck = min(response.grants, key=lambda g: g.granted, default=None)
+            raise InsufficientBandwidth(
+                f"EER setup failed; bottleneck at "
+                f"{bottleneck.isd_as if bottleneck else 'unknown'}",
+                granted=bottleneck.granted if bottleneck else 0.0,
+                at_as=bottleneck.isd_as if bottleneck else None,
+            )
+        final_info = response.res_info
+        hop_auths = self._open_hopauths(path.hops, response.sealed_hopauths, now)
+        if self.gateway is not None:
+            self.gateway.install(
+                res_id,
+                PathField.from_hops(path.hops),
+                eer_info,
+                final_info,
+                tuple(hop_auths),
+            )
+        return EerHandle(
+            reservation_id=res_id,
+            res_info=final_info,
+            eer_info=eer_info,
+            hops=path.hops,
+            segment_ids=request.segment_ids,
+            granted=response.granted,
+        )
+
+    def _open_hopauths(self, hops: tuple, sealed_hopauths: tuple, now: float) -> list:
+        """Decrypt the Eq. (5) HopAuth blobs, attributing any corruption.
+
+        A malicious transit AS could corrupt another AS's sealed blob on
+        the response path.  The AEAD tag detects it; we convert the raw
+        crypto error into a typed failure naming the affected hop so the
+        initiator knows where the response was tampered with.  The
+        already-committed allocations along the path simply expire with
+        the EER lifetime (16 s) — bounded, unusable state for the
+        attacker, since without the HopAuths nobody can stamp packets.
+        """
+        from repro.errors import AeadError
+
+        if len(sealed_hopauths) != len(hops):
+            raise AdmissionDenied(
+                f"response carries {len(sealed_hopauths)} HopAuths for "
+                f"{len(hops)} hops — tampered on the return path"
+            )
+        hop_auths = []
+        for hop, sealed in zip(hops, sealed_hopauths):
+            key = self.directory.fetch_key(hop.isd_as, self.isd_as, now)
+            try:
+                hop_auths.append(aead_open(key, sealed))
+            except AeadError as error:
+                raise AdmissionDenied(
+                    f"HopAuth from {hop.isd_as} failed authenticated "
+                    f"decryption — response tampered in transit",
+                    at_as=hop.isd_as,
+                ) from error
+        return hop_auths
+
+    def _role_and_segments(self, request_segment_ids: tuple, hop_index: int, last_index: int):
+        """Determine this AS's role (§4.1) and the SegRs it must check."""
+        present = [
+            sid for sid in request_segment_ids if self.store.has_segment(sid)
+        ]
+        if hop_index == 0:
+            return AsRole.SOURCE, None, request_segment_ids[0]
+        if hop_index == last_index:
+            return AsRole.DESTINATION, request_segment_ids[-1], None
+        if len(present) >= 2:
+            for first, second in zip(request_segment_ids, request_segment_ids[1:]):
+                if first in present and second in present:
+                    return AsRole.TRANSFER, first, second
+        if len(present) == 1:
+            return AsRole.TRANSIT, present[0], None
+        raise ReservationNotFound(
+            f"AS {self.isd_as} stores none of the SegRs "
+            f"{[str(s) for s in request_segment_ids]} named by the EEReq"
+        )
+
+    def handle_eer_setup(
+        self, request: EerSetupRequest, auth: AuthenticatedRequest, hop_index: int
+    ) -> EerSetupResponse:
+        """On-path processing of an EEReq (➌ of Fig. 1b) and its response."""
+        now = self._now()
+        hop = self._hop_of(request.hops, hop_index)
+        source = request.res_info.src_as
+        last_index = len(request.hops) - 1
+        if hop_index > 0:
+            self._admission_gate(source, now)
+            auth.verify_at(self.keys, now)
+
+        def fail(granted: float) -> EerSetupResponse:
+            return EerSetupResponse(
+                res_info=request.res_info,
+                success=False,
+                granted=0.0,
+                grants=request.grants + (AsGrant(self.isd_as, granted),),
+            )
+
+        try:
+            role, segment_in, segment_out = self._role_and_segments(
+                request.segment_ids, hop_index, last_index
+            )
+        except ReservationNotFound:
+            return fail(0.0)
+
+        host = None
+        if role is AsRole.SOURCE:
+            host = request.eer_info.src_host
+        elif role is AsRole.DESTINATION:
+            host = request.eer_info.dst_host
+            # The destination host must explicitly accept the EER (§4.4).
+            if not self.host_acceptor(request.eer_info, request.res_info.bandwidth):
+                return fail(0.0)
+
+        core_contention = False
+        if role is AsRole.TRANSFER:
+            seg_in = self.store.get_segment(segment_in)
+            seg_out = self.store.get_segment(segment_out)
+            core_contention = (
+                seg_in.segment.segment_type is SegmentType.UP
+                and seg_out.segment.segment_type is SegmentType.CORE
+            )
+        try:
+            decision = self.eer_admission.decide(
+                role,
+                request.res_info.bandwidth,
+                now,
+                segment_in=segment_in,
+                segment_out=segment_out,
+                host=host,
+                core_contention=core_contention,
+            )
+        except (InsufficientBandwidth, PolicyDenied) as denial:
+            return fail(denial.granted)
+        except ReservationExpired:
+            return fail(0.0)
+
+        as_grant = AsGrant(self.isd_as, decision.granted)
+        forwarded = request.with_grant(as_grant)
+        auth.add_grant_mac(self.keys, as_grant, now)
+
+        if hop_index == last_index:
+            final = min(g.granted for g in forwarded.grants)
+            success = final > 0
+            response = EerSetupResponse(
+                res_info=replace(request.res_info, bandwidth=final),
+                success=success,
+                granted=final,
+                grants=forwarded.grants,
+            )
+        else:
+            next_as = request.hops[hop_index + 1].isd_as
+            response = self.bus.call(
+                next_as, "handle_eer_setup", forwarded, auth, hop_index + 1
+            )
+
+        if response.success:
+            final_info = response.res_info
+            eer_id = final_info.reservation
+            with self.store.transaction():
+                self.eer_admission.commit(eer_id, decision, response.granted)
+                self.store.add_eer(
+                    E2EReservation(
+                        reservation_id=eer_id,
+                        eer_info=request.eer_info,
+                        hops=request.hops,
+                        segment_ids=request.segment_ids,
+                        first_version=E2EVersion(
+                            version=final_info.version,
+                            bandwidth=response.granted,
+                            expiry=final_info.expiry,
+                        ),
+                    )
+                )
+            sigma = hop_authenticator(
+                self.keys.hop_key(now),
+                final_info,
+                request.eer_info,
+                hop.ingress,
+                hop.egress,
+            )
+            sealed = aead_seal(self.keys.control_key(source, now), sigma)
+            response = replace(
+                response, sealed_hopauths=(sealed,) + response.sealed_hopauths
+            )
+        else:
+            # Release any policy budget the failed attempt consumed.
+            if host is not None and role is AsRole.SOURCE:
+                self.eer_admission.source_policy.release(
+                    host, request.res_info.bandwidth
+                )
+            elif host is not None and role is AsRole.DESTINATION:
+                self.eer_admission.destination_policy.release(
+                    host, request.res_info.bandwidth
+                )
+        return response
+
+    def renew_eer(self, handle: EerHandle, new_bandwidth: float = None) -> EerHandle:
+        """Renew an own EER ahead of expiry (§4.2); returns the updated
+        handle with the new version installed at the gateway."""
+        now = self._now()
+        self.renewal_limiter.check(handle.reservation_id, now)
+        reservation = self.store.get_eer(handle.reservation_id)
+        if new_bandwidth is None:
+            new_bandwidth = handle.res_info.bandwidth
+        request = EerRenewalRequest(
+            reservation=handle.reservation_id,
+            new_bandwidth=new_bandwidth,
+            new_expiry=now + EER_LIFETIME,
+            new_version=reservation.next_version_number(),
+        )
+        on_path = [hop.isd_as for hop in handle.hops]
+        auth = AuthenticatedRequest.create(
+            self.directory, self.isd_as, on_path, request, now
+        )
+        response = self.handle_eer_renewal(request, auth, 0)
+        if not response.success:
+            bottleneck = min(response.grants, key=lambda g: g.granted, default=None)
+            raise InsufficientBandwidth(
+                f"EER renewal failed; bottleneck at "
+                f"{bottleneck.isd_as if bottleneck else 'unknown'}",
+                granted=bottleneck.granted if bottleneck else 0.0,
+                at_as=bottleneck.isd_as if bottleneck else None,
+            )
+        final_info = response.res_info
+        hop_auths = self._open_hopauths(
+            handle.hops, response.sealed_hopauths, now
+        )
+        if self.gateway is not None:
+            self.gateway.install(
+                handle.reservation_id,
+                PathField.from_hops(handle.hops),
+                handle.eer_info,
+                final_info,
+                tuple(hop_auths),
+            )
+        return EerHandle(
+            reservation_id=handle.reservation_id,
+            res_info=final_info,
+            eer_info=handle.eer_info,
+            hops=handle.hops,
+            segment_ids=handle.segment_ids,
+            granted=response.granted,
+        )
+
+    def handle_eer_renewal(
+        self, request: EerRenewalRequest, auth: AuthenticatedRequest, hop_index: int
+    ) -> EerSetupResponse:
+        now = self._now()
+        source = request.reservation.src_as
+
+        def fail(granted: float) -> EerSetupResponse:
+            return EerSetupResponse(
+                res_info=ResInfo(
+                    reservation=request.reservation,
+                    bandwidth=0.0,
+                    expiry=request.new_expiry,
+                    version=request.new_version,
+                ),
+                success=False,
+                granted=0.0,
+                grants=request.grants + (AsGrant(self.isd_as, granted),),
+            )
+
+        try:
+            reservation = self.store.get_eer(request.reservation)
+        except ReservationNotFound:
+            return fail(0.0)
+        hops = reservation.hops
+        hop = self._hop_of(hops, hop_index)
+        last_index = len(hops) - 1
+        if hop_index > 0:
+            self._admission_gate(source, now)
+            auth.verify_at(self.keys, now)
+
+        try:
+            role, segment_in, segment_out = self._role_and_segments(
+                reservation.segment_ids, hop_index, last_index
+            )
+        except ReservationNotFound:
+            return fail(0.0)
+
+        # The renewal needs only the *additional* bandwidth beyond what
+        # this EER already occupies on the SegRs (versions share budget).
+        current = max(
+            self.store.eer_allocation(sid, request.reservation)
+            for sid in decisions_segments(segment_in, segment_out)
+        )
+        additional = max(0.0, request.new_bandwidth - current)
+        # §4.2: "during a renewal request all on-path ASes can specify
+        # the amount of bandwidth they are willing to grant" — an AS that
+        # cannot cover the full growth offers a *partial* grant (at least
+        # the EER's current allocation, so service never regresses below
+        # what already runs), instead of failing the renewal outright.
+        try:
+            decision = self.eer_admission.decide(
+                role,
+                additional,
+                now,
+                segment_in=segment_in,
+                segment_out=segment_out,
+                host=None,  # policy budget was charged at setup
+            )
+            offered = request.new_bandwidth
+        except (InsufficientBandwidth, PolicyDenied) as denial:
+            offered = current + max(0.0, denial.granted)
+            if offered <= 0:
+                return fail(0.0)
+            decision = EerDecision(
+                granted=offered,
+                role=role,
+                segments_checked=tuple(
+                    decisions_segments(segment_in, segment_out)
+                ),
+            )
+        except ReservationExpired:
+            return fail(0.0)
+
+        as_grant = AsGrant(self.isd_as, offered)
+        forwarded = request.with_grant(as_grant)
+        auth.add_grant_mac(self.keys, as_grant, now)
+
+        if hop_index == last_index:
+            final = min(g.granted for g in forwarded.grants)
+            response = EerSetupResponse(
+                res_info=ResInfo(
+                    reservation=request.reservation,
+                    bandwidth=final,
+                    expiry=request.new_expiry,
+                    version=request.new_version,
+                ),
+                success=final > 0,
+                granted=final,
+                grants=forwarded.grants,
+            )
+        else:
+            response = self.bus.call(
+                hops[hop_index + 1].isd_as,
+                "handle_eer_renewal",
+                forwarded,
+                auth,
+                hop_index + 1,
+            )
+
+        if response.success:
+            final_info = response.res_info
+            with self.store.transaction():
+                reservation.add_version(
+                    E2EVersion(
+                        version=final_info.version,
+                        bandwidth=response.granted,
+                        expiry=final_info.expiry,
+                    )
+                )
+                new_allocation = max(current, response.granted)
+                for sid in decision.segments_checked:
+                    self.store.allocate_on_segment(
+                        sid, request.reservation, new_allocation
+                    )
+            sigma = hop_authenticator(
+                self.keys.hop_key(now),
+                final_info,
+                reservation.eer_info,
+                hop.ingress,
+                hop.egress,
+            )
+            sealed = aead_seal(self.keys.control_key(source, now), sigma)
+            response = replace(
+                response, sealed_hopauths=(sealed,) + response.sealed_hopauths
+            )
+        return response
+
+    # ====================================================== host front door ==
+
+    def provision_host_key(self, host: HostAddr) -> bytes:
+        """The host-specific key a subscriber receives at sign-up.
+
+        Footnote 2 of the paper: protocol- and host-specific keys are
+        derived below the AS-level DRKey.  For the host -> local-CServ
+        channel the parent key is ``K_{A->A}`` (the AS's key with
+        itself), so the CServ can re-derive any host's key on the fly —
+        no per-host key storage.
+        """
+        from repro.crypto.drkey import derive_host_key
+
+        parent = self.keys.control_key(self.isd_as)
+        return derive_host_key(parent, host.packed)
+
+    @staticmethod
+    def _host_request_bytes(
+        src_host: HostAddr, destination: IsdAs, dst_host: HostAddr, bandwidth: float
+    ) -> bytes:
+        from repro.packets.wire import Writer
+
+        return (
+            Writer()
+            .raw(src_host.packed)
+            .raw(destination.packed)
+            .raw(dst_host.packed)
+            .f64(bandwidth)
+            .finish()
+        )
+
+    def request_eer(
+        self,
+        src_host: HostAddr,
+        destination: IsdAs,
+        dst_host: HostAddr,
+        bandwidth: float,
+        tag: bytes,
+    ) -> EerHandle:
+        """The authenticated host-facing entry point for EER setup.
+
+        The host MACs its request under its provisioned key; the CServ
+        re-derives the key and verifies before doing any work, so hosts
+        cannot spoof each other's identity towards their own AS (which
+        would subvert per-host policies, §4.7) and cannot flood the CServ
+        with requests charged to someone else.
+        """
+        from repro.crypto.mac import verify_mac
+
+        key = self.provision_host_key(src_host)
+        payload = self._host_request_bytes(src_host, destination, dst_host, bandwidth)
+        verify_mac(key, payload, tag)
+        return self.setup_eer(destination, src_host, dst_host, bandwidth)
+
+    # ======================================================== dissemination ==
+
+    def query_registry(self, first_as: IsdAs, last_as: IsdAs, requester: IsdAs) -> list:
+        """Remote-facing registry lookup (Appendix C)."""
+        return self.registry.query(first_as, last_as, requester, self._now())
+
+    def _fetch_descriptors(self, owner: IsdAs, first: IsdAs, last: IsdAs) -> list:
+        """Local registry, then cache, then a remote CServ query."""
+        now = self._now()
+        local = self.registry.query(first, last, self.isd_as, now)
+        if local:
+            return local
+        cached = self._remote_cache.get((first, last))
+        if cached is not None:
+            descriptors, fetched_at = cached
+            fresh = [d for d in descriptors if not d.is_expired(now)]
+            if fresh and now - fetched_at < REMOTE_CACHE_TTL:
+                return fresh
+        try:
+            descriptors = self.bus.call(
+                owner, "query_registry", first, last, self.isd_as
+            )
+        except ColibriError:
+            return []
+        self._remote_cache[(first, last)] = (list(descriptors), now)
+        return [d for d in descriptors if not d.is_expired(now)]
+
+    def _invalidate_remote_cache(self, descriptors: list) -> None:
+        for descriptor in descriptors:
+            self._remote_cache.pop((descriptor.first_as, descriptor.last_as), None)
+
+    def find_segment_chain(self, destination: IsdAs):
+        """Assemble 1-3 SegRs covering a path to ``destination``.
+
+        Mirrors the SCION segment-combination rules over *reserved*
+        segments instead of raw ones, fetching remote descriptors with
+        hierarchical caching (Appendix C).  Returns
+        ``(descriptors, combined_path)`` for the first chain found.
+        """
+        for chain in self.iter_segment_chains(destination):
+            return chain
+        raise NoPathError(
+            f"no SegR chain from {self.isd_as} to {destination}; "
+            "set up the missing segment reservations first"
+        )
+
+    def find_segment_chains(self, destination: IsdAs, limit: int = 5) -> list:
+        """Up to ``limit`` distinct SegR chains to ``destination``,
+        deduplicated on the combined AS path — the raw material for
+        multipath reservations (§2.1)."""
+        chains = []
+        seen = set()
+        for descriptors, path in self.iter_segment_chains(destination):
+            if path.ases in seen:
+                continue
+            seen.add(path.ases)
+            chains.append((descriptors, path))
+            if len(chains) >= limit:
+                break
+        if not chains:
+            raise NoPathError(
+                f"no SegR chain from {self.isd_as} to {destination}; "
+                "set up the missing segment reservations first"
+            )
+        return chains
+
+    def iter_segment_chains(self, destination: IsdAs):
+        """Yield every combinable SegR chain towards ``destination``."""
+        if self.topology is None:
+            raise ColibriError(
+                f"CServ of {self.isd_as} has no topology reference for chain search"
+            )
+        if destination == self.isd_as:
+            raise NoPathError("source and destination AS are identical")
+        now = self._now()
+        src_core = self.node.is_core
+        dst_core = self.topology.node(destination).is_core
+
+        if src_core:
+            up_options = [(None, self.isd_as)]
+        else:
+            up_options = []
+            for core in self.topology.core_ases(self.node.isd):
+                for descriptor in self.registry.query(
+                    self.isd_as, core.isd_as, self.isd_as, now
+                ):
+                    up_options.append((descriptor, core.isd_as))
+        if dst_core:
+            down_options = [(None, destination)]
+        else:
+            down_options = []
+            for core in self.topology.core_ases(destination.isd):
+                for descriptor in self._fetch_descriptors(
+                    core.isd_as, core.isd_as, destination
+                ):
+                    down_options.append((descriptor, core.isd_as))
+
+        for up_descriptor, up_core in up_options:
+            for down_descriptor, down_core in down_options:
+                if up_core == down_core:
+                    chain = [d for d in (up_descriptor, down_descriptor) if d]
+                    if not chain:
+                        continue
+                    path = self._combine_chain(chain)
+                    if path is not None:
+                        yield chain, path
+                    continue
+                for core_descriptor in self._fetch_descriptors(
+                    up_core, up_core, down_core
+                ):
+                    chain = [
+                        d
+                        for d in (up_descriptor, core_descriptor, down_descriptor)
+                        if d
+                    ]
+                    path = self._combine_chain(chain)
+                    if path is not None:
+                        yield chain, path
+
+    @staticmethod
+    def _combine_chain(descriptors: list):
+        try:
+            return combine_segments(
+                [d.segment for d in descriptors], allow_shortcut=False
+            )
+        except ColibriError:
+            return None
+
+    # ============================================================== policing ==
+
+    def report_offense(self, source: IsdAs, reservation_id: ReservationId) -> None:
+        """Border-router report of confirmed overuse (§4.8).
+
+        "It is possible for the service to take drastic measures such as
+        completely denying future reservations originating from that AS."
+        """
+        self.offenses_reported += 1
+        self.denied_sources.add(source)
+
+    def pardon(self, source: IsdAs) -> None:
+        self.denied_sources.discard(source)
+
+    # ========================================================== housekeeping ==
+
+    def housekeeping(self) -> dict:
+        """Periodic sweep: expire reservations, release admission state,
+        purge the registry.  Returns counts for observability."""
+        now = self._now()
+        expired_segments = [
+            reservation.reservation_id
+            for reservation in self.store.segments()
+            if reservation.is_expired(now)
+        ]
+        removed = self.store.sweep_expired(now)
+        for reservation_id in expired_segments:
+            self.seg_admission.release(reservation_id)
+            self.registry.unregister(reservation_id)
+            self._segment_tokens.pop(reservation_id, None)
+        removed["registry"] = self.registry.sweep_expired(now)
+        return removed
+
+    def segment_tokens(self, reservation_id: ReservationId) -> tuple:
+        """The Eq. (3) tokens returned at setup, for building SegR packets."""
+        return self._segment_tokens[reservation_id]
+
+
+def decisions_segments(segment_in, segment_out):
+    """The non-None segment IDs an EER decision touches."""
+    return [sid for sid in (segment_in, segment_out) if sid is not None]

@@ -1,0 +1,134 @@
+"""SegR registration and hierarchical dissemination (Appendix C).
+
+"Once a SegR is established, the initiator can choose to share it
+publicly by registering it at its CServ along with a whitelist of ASes
+that are allowed to use the SegR to create EERs.  An end host can then
+query its local CServ for SegRs to the intended destination, which looks
+up SegRs in its database and contacts remote CServs if necessary […]
+These additional SegRs are then also cached at the local CServ."
+
+:class:`SegmentRegistry` is the per-CServ database; the remote-query and
+caching logic lives in :meth:`repro.control.cserv.ColibriService.find_segment_chain`.
+Entries travel between CServs as plain :class:`SegmentDescriptor` values
+(no live object sharing — the consumer AS never holds another AS's
+reservation state, only the public description).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.reservation.ids import ReservationId
+from repro.reservation.segment import SegmentReservation
+from repro.topology.addresses import IsdAs
+from repro.topology.segments import Segment
+
+
+@dataclass(frozen=True)
+class SegmentDescriptor:
+    """The public description of a registered SegR."""
+
+    reservation_id: ReservationId
+    segment: Segment
+    bandwidth: float
+    expiry: float
+    version: int
+
+    @property
+    def first_as(self) -> IsdAs:
+        return self.segment.first_as
+
+    @property
+    def last_as(self) -> IsdAs:
+        return self.segment.last_as
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expiry
+
+    @classmethod
+    def of(cls, reservation: SegmentReservation) -> "SegmentDescriptor":
+        active = reservation.active
+        return cls(
+            reservation_id=reservation.reservation_id,
+            segment=reservation.segment,
+            bandwidth=active.bandwidth,
+            expiry=active.expiry,
+            version=active.version,
+        )
+
+
+class SegmentRegistry:
+    """Registered SegRs of one CServ, indexed by endpoint pair.
+
+    ``whitelist=None`` means public; otherwise only listed ASes may learn
+    of (and thus build EERs over) the SegR.
+    """
+
+    def __init__(self):
+        self._by_pair: dict = defaultdict(dict)  # (first, last) -> {res_id: desc}
+        self._whitelists: dict[ReservationId, Optional[frozenset]] = {}
+
+    def register(
+        self, descriptor: SegmentDescriptor, whitelist: Optional[set] = None
+    ) -> None:
+        key = (descriptor.first_as, descriptor.last_as)
+        self._by_pair[key][descriptor.reservation_id] = descriptor
+        self._whitelists[descriptor.reservation_id] = (
+            frozenset(whitelist) if whitelist is not None else None
+        )
+
+    def update(self, descriptor: SegmentDescriptor) -> None:
+        """Refresh a descriptor after renewal/activation, keeping the
+        existing whitelist."""
+        key = (descriptor.first_as, descriptor.last_as)
+        if descriptor.reservation_id not in self._by_pair[key]:
+            raise KeyError(f"SegR {descriptor.reservation_id} is not registered")
+        self._by_pair[key][descriptor.reservation_id] = descriptor
+
+    def unregister(self, reservation_id: ReservationId) -> None:
+        for bucket in self._by_pair.values():
+            bucket.pop(reservation_id, None)
+        self._whitelists.pop(reservation_id, None)
+
+    def query(
+        self,
+        first_as: IsdAs,
+        last_as: IsdAs,
+        requester: IsdAs,
+        now: float,
+    ) -> list:
+        """Usable descriptors from ``first_as`` to ``last_as`` for
+        ``requester``, freshest (latest expiry) first."""
+        bucket = self._by_pair.get((first_as, last_as), {})
+        result = []
+        for descriptor in bucket.values():
+            if descriptor.is_expired(now):
+                continue
+            whitelist = self._whitelists.get(descriptor.reservation_id)
+            if whitelist is not None and requester not in whitelist:
+                continue
+            result.append(descriptor)
+        result.sort(key=lambda d: d.expiry, reverse=True)
+        return result
+
+    def destinations_from(self, first_as: IsdAs) -> list:
+        """All last-AS endpoints registered from ``first_as``."""
+        return sorted(
+            last for (first, last), bucket in self._by_pair.items()
+            if first == first_as and bucket
+        )
+
+    def sweep_expired(self, now: float) -> int:
+        removed = 0
+        for bucket in self._by_pair.values():
+            stale = [rid for rid, desc in bucket.items() if desc.is_expired(now)]
+            for rid in stale:
+                del bucket[rid]
+                self._whitelists.pop(rid, None)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_pair.values())

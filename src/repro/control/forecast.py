@@ -1,0 +1,101 @@
+"""Traffic forecasting for SegR sizing (§3.2).
+
+"The CServ requests and renews SegRs according to expected traffic
+requirements.  Since link utilization often exhibits repeating patterns
+over time, an AS can forecast future requirements and reserve
+appropriate bandwidth for segments in advance."
+
+:class:`TrafficForecaster` provides that predictor: an exponentially
+weighted moving average for the trend plus per-time-of-period seasonal
+buckets (daily patterns in the paper's framing; the period is
+configurable so tests can compress a "day" into seconds).  Its
+:meth:`forecast` plugs directly into
+:class:`~repro.control.renewal.RenewalScheduler`'s ``bandwidth_fn``.
+"""
+
+from __future__ import annotations
+
+from repro.util.clock import Clock
+
+#: A day — the natural seasonality of link utilization.
+DEFAULT_PERIOD = 24 * 3600.0
+DEFAULT_BUCKETS = 24
+
+
+class TrafficForecaster:
+    """EWMA + seasonal-bucket bandwidth predictor."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        period: float = DEFAULT_PERIOD,
+        buckets: int = DEFAULT_BUCKETS,
+        smoothing: float = 0.3,
+        headroom: float = 1.2,
+        floor: float = 0.0,
+    ):
+        if period <= 0 or buckets <= 0:
+            raise ValueError("period and bucket count must be positive")
+        if not 0 < smoothing <= 1:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        if headroom < 1:
+            raise ValueError(f"headroom must be >= 1, got {headroom}")
+        self.clock = clock
+        self.period = period
+        self.buckets = buckets
+        self.smoothing = smoothing
+        self.headroom = headroom
+        self.floor = floor
+        self._trend: float = 0.0
+        self._trend_initialized = False
+        self._seasonal: list = [None] * buckets  # EWMA per bucket
+        self.observations = 0
+
+    def _bucket_of(self, when: float) -> int:
+        return int((when % self.period) / self.period * self.buckets)
+
+    def observe(self, bandwidth_used: float, when: float = None) -> None:
+        """Record one utilization sample (bits per second)."""
+        if bandwidth_used < 0:
+            raise ValueError(f"utilization must be non-negative, got {bandwidth_used}")
+        if when is None:
+            when = self.clock.now()
+        self.observations += 1
+        if not self._trend_initialized:
+            self._trend = bandwidth_used
+            self._trend_initialized = True
+        else:
+            self._trend += self.smoothing * (bandwidth_used - self._trend)
+        bucket = self._bucket_of(when)
+        previous = self._seasonal[bucket]
+        if previous is None:
+            self._seasonal[bucket] = bandwidth_used
+        else:
+            self._seasonal[bucket] = previous + self.smoothing * (
+                bandwidth_used - previous
+            )
+
+    def forecast(self, when: float = None) -> float:
+        """Predicted bandwidth need at ``when`` (default: now), with
+        headroom applied — the amount to request at the next renewal."""
+        if when is None:
+            when = self.clock.now()
+        seasonal = self._seasonal[self._bucket_of(when)]
+        if seasonal is not None:
+            # Blend the time-of-period pattern with the recent trend.
+            base = 0.5 * seasonal + 0.5 * self._trend
+        elif self._trend_initialized:
+            base = self._trend
+        else:
+            return self.floor  # no data yet: the configured minimum
+        return max(self.floor, base * self.headroom)
+
+    def bandwidth_fn(self, lead: float = 0.0):
+        """A zero-argument callable for ``RenewalScheduler``: forecasts
+        the bucket ``lead`` seconds ahead (the window the renewed SegR
+        will actually serve)."""
+
+        def predict() -> float:
+            return self.forecast(self.clock.now() + lead)
+
+        return predict

@@ -1,0 +1,98 @@
+"""Protected control traffic: control messages as real SegR packets.
+
+"The only packets that are sent over SegRs are control-plane packets
+(SegR renewal and EER setup requests)" (§4.5) — and riding the SegR is
+what makes them immune to best-effort floods (§5.3).  On the wire such a
+packet is an ordinary Colibri SEGMENT packet: Path + ResInfo from the
+SegR, the Eq. (3) tokens as HVFs, and the serialized control message as
+payload.  Border routers validate the token statelessly and hand the
+packet to the local CServ (Verdict.DELIVER_CSERV, §4.6).
+
+The hop-by-hop *processing* of the message itself stays on the
+:class:`~repro.control.rpc.MessageBus` (our gRPC stand-in, DESIGN.md §2);
+this module provides the packet-level envelope so the data-plane
+protection of control traffic is real and testable:
+
+* :func:`build_control_packet` — initiator side;
+* :func:`walk_control_packet` — drive it through every border router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataplane.router import Verdict
+from repro.errors import ReservationExpired
+from repro.packets.colibri import ColibriPacket, PacketType
+from repro.packets.control import ControlMessage
+from repro.packets.fields import PathField, ResInfo, Timestamp
+from repro.reservation.ids import ReservationId
+
+
+@dataclass
+class ControlDelivery:
+    """Outcome of walking a control packet along its SegR."""
+
+    delivered: bool
+    verdicts: list  # [(IsdAs, Verdict)]
+
+    @property
+    def dropped_at(self):
+        for isd_as, verdict in self.verdicts:
+            if verdict.is_drop:
+                return isd_as
+        return None
+
+
+def build_control_packet(
+    cserv, segment_id: ReservationId, message: ControlMessage
+) -> ColibriPacket:
+    """Wrap a control message in a packet riding the given SegR.
+
+    Only the SegR's initiator holds the Eq. (3) tokens (returned at
+    setup/renewal), so only it can emit valid control packets — exactly
+    the §5.3 property that keeps renewals DoC-proof.
+    """
+    reservation = cserv.store.get_segment(segment_id)
+    now = cserv.clock.now()
+    if reservation.is_expired(now):
+        raise ReservationExpired(f"SegR {segment_id} has expired")
+    tokens = cserv.segment_tokens(segment_id)
+    active = reservation.active
+    res_info = ResInfo(
+        reservation=segment_id,
+        bandwidth=active.bandwidth,
+        expiry=active.expiry,
+        version=active.version,
+    )
+    return ColibriPacket(
+        packet_type=PacketType.SEGMENT,
+        path=PathField.from_hops(reservation.segment.hops),
+        res_info=res_info,
+        timestamp=Timestamp.create(now, active.expiry),
+        hvfs=list(tokens),
+        payload=message.to_bytes(),
+    )
+
+
+def walk_control_packet(network, packet: ColibriPacket) -> ControlDelivery:
+    """Push a SegR control packet through every on-path border router.
+
+    At each AS the router validates the Eq. (3) token and delivers to
+    the local CServ (§4.6); the CServ would process the payload and
+    re-inject towards the next hop — modelled here by advancing the hop
+    pointer and continuing.
+    """
+    source_cserv = network.cserv(packet.res_info.src_as)
+    reservation = source_cserv.store.get_segment(packet.res_info.reservation)
+    hops = reservation.segment.hops
+    verdicts = []
+    while True:
+        isd_as = hops[packet.hop_index].isd_as
+        result = network.router(isd_as).process(packet)
+        verdicts.append((isd_as, result.verdict))
+        if result.verdict is not Verdict.DELIVER_CSERV:
+            return ControlDelivery(delivered=False, verdicts=verdicts)
+        if packet.hop_index == packet.hop_count - 1:
+            return ControlDelivery(delivered=True, verdicts=verdicts)
+        packet.advance_hop()

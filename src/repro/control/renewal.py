@@ -1,0 +1,131 @@
+"""Renewal scheduling (§4.2).
+
+Reservations expire on their own; an initiator that wants to keep one
+must renew ahead of time — seamlessly for EERs (overlapping versions) and
+with an explicit activation step for SegRs.  :class:`RenewalScheduler`
+automates that for one CServ: tracked reservations are renewed whenever
+:meth:`tick` finds them within ``lead_time`` of expiry.
+
+The scheduler is deliberately simple — the paper notes ASes "can forecast
+future requirements"; forecasting hooks in via the ``bandwidth_fn``
+callbacks, which are consulted at each renewal so a traffic predictor can
+resize reservations over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ColibriError
+from repro.reservation.ids import ReservationId
+
+#: Renew when this many seconds remain before expiry.
+DEFAULT_SEGR_LEAD = 60.0
+DEFAULT_EER_LEAD = 4.0
+
+
+@dataclass
+class _TrackedSegment:
+    reservation_id: ReservationId
+    bandwidth_fn: Callable[[], float]
+    minimum: float
+
+
+@dataclass
+class _TrackedEer:
+    handle: object  # EerHandle; refreshed after every renewal
+    bandwidth_fn: Callable[[], float]
+
+
+class RenewalScheduler:
+    """Keeps a CServ's own reservations alive across expiry boundaries."""
+
+    def __init__(
+        self,
+        cserv,
+        segr_lead: float = DEFAULT_SEGR_LEAD,
+        eer_lead: float = DEFAULT_EER_LEAD,
+    ):
+        self.cserv = cserv
+        self.segr_lead = segr_lead
+        self.eer_lead = eer_lead
+        self._segments: dict[ReservationId, _TrackedSegment] = {}
+        self._eers: dict[ReservationId, _TrackedEer] = {}
+        self.renewals = {"segments": 0, "eers": 0, "failures": 0}
+
+    # -- registration ------------------------------------------------------------
+
+    def track_segment(
+        self,
+        reservation_id: ReservationId,
+        bandwidth: float = None,
+        bandwidth_fn: Optional[Callable[[], float]] = None,
+        minimum: float = 0.0,
+    ) -> None:
+        """Keep a SegR renewed; exactly one of ``bandwidth`` (fixed) or
+        ``bandwidth_fn`` (forecast hook) must be given."""
+        if (bandwidth is None) == (bandwidth_fn is None):
+            raise ValueError("give exactly one of bandwidth or bandwidth_fn")
+        if bandwidth_fn is None:
+            fixed = float(bandwidth)
+            bandwidth_fn = lambda: fixed  # noqa: E731 - tiny closure
+        self._segments[reservation_id] = _TrackedSegment(
+            reservation_id=reservation_id,
+            bandwidth_fn=bandwidth_fn,
+            minimum=minimum,
+        )
+
+    def track_eer(self, handle, bandwidth_fn: Optional[Callable[[], float]] = None) -> None:
+        if bandwidth_fn is None:
+            fixed = handle.res_info.bandwidth
+            bandwidth_fn = lambda: fixed  # noqa: E731
+        self._eers[handle.reservation_id] = _TrackedEer(
+            handle=handle, bandwidth_fn=bandwidth_fn
+        )
+
+    def untrack(self, reservation_id: ReservationId) -> None:
+        self._segments.pop(reservation_id, None)
+        self._eers.pop(reservation_id, None)
+
+    def eer_handle(self, reservation_id: ReservationId):
+        """The freshest handle for a tracked EER (updated by renewals)."""
+        return self._eers[reservation_id].handle
+
+    # -- driving -----------------------------------------------------------------
+
+    def tick(self) -> dict:
+        """Renew everything within its lead window; returns action counts."""
+        now = self.cserv.clock.now()
+        actions = {"segments": 0, "eers": 0, "failures": 0}
+        for tracked in list(self._segments.values()):
+            try:
+                reservation = self.cserv.store.get_segment(tracked.reservation_id)
+            except ColibriError:
+                self._segments.pop(tracked.reservation_id, None)
+                continue
+            if reservation.expiry - now > self.segr_lead:
+                continue
+            try:
+                version = self.cserv.renew_segment(
+                    tracked.reservation_id, tracked.bandwidth_fn(), tracked.minimum
+                )
+                self.cserv.activate_segment(tracked.reservation_id, version)
+                actions["segments"] += 1
+                self.renewals["segments"] += 1
+            except ColibriError:
+                actions["failures"] += 1
+                self.renewals["failures"] += 1
+        for tracked in list(self._eers.values()):
+            if tracked.handle.res_info.expiry - now > self.eer_lead:
+                continue
+            try:
+                tracked.handle = self.cserv.renew_eer(
+                    tracked.handle, tracked.bandwidth_fn()
+                )
+                actions["eers"] += 1
+                self.renewals["eers"] += 1
+            except ColibriError:
+                actions["failures"] += 1
+                self.renewals["failures"] += 1
+        return actions

@@ -1,0 +1,65 @@
+"""Inter-AS control-plane transport.
+
+The paper's CServs talk "via gRPC calls on top of QUIC" (§6.1).  The
+reproduction replaces the network with an in-process :class:`MessageBus`:
+each AS registers its service, and a call names the destination AS and a
+method.  The bus preserves what the evaluation depends on — the exact
+request/response state machine and per-AS processing — while §6's
+measurements explicitly "disregard propagation delays".
+
+The bus doubles as the failure-injection point for tests: individual
+ASes can be partitioned (calls to them raise) or made lossy.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ColibriError
+from repro.topology.addresses import IsdAs
+
+
+class Unreachable(ColibriError):
+    """The destination AS is partitioned away or not registered."""
+
+
+class MessageBus:
+    """Synchronous in-process RPC between per-AS services."""
+
+    def __init__(self):
+        self._services: dict[IsdAs, object] = {}
+        self._partitioned: set = set()
+        self.calls = 0
+        self.calls_by_method: dict[str, int] = defaultdict(int)
+
+    def register(self, isd_as: IsdAs, service: object) -> None:
+        self._services[isd_as] = service
+
+    def service_of(self, isd_as: IsdAs) -> object:
+        service = self._services.get(isd_as)
+        if service is None:
+            raise Unreachable(f"no service registered for AS {isd_as}")
+        return service
+
+    def call(self, isd_as: IsdAs, method: str, *args, **kwargs):
+        """Invoke ``method`` on the service of ``isd_as``."""
+        if isd_as in self._partitioned:
+            raise Unreachable(f"AS {isd_as} is partitioned")
+        service = self.service_of(isd_as)
+        handler = getattr(service, method, None)
+        if handler is None:
+            raise ColibriError(
+                f"service of AS {isd_as} has no control-plane method {method!r}"
+            )
+        self.calls += 1
+        self.calls_by_method[method] += 1
+        return handler(*args, **kwargs)
+
+    # -- failure injection ---------------------------------------------------------
+
+    def partition(self, isd_as: IsdAs) -> None:
+        """Make an AS unreachable (network partition / service crash)."""
+        self._partitioned.add(isd_as)
+
+    def heal(self, isd_as: IsdAs) -> None:
+        self._partitioned.discard(isd_as)

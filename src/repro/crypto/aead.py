@@ -1,0 +1,74 @@
+"""Authenticated encryption with associated data (AEAD).
+
+HopAuths are returned to the source AS "over a channel secured through
+authenticated encryption with associated data" (Eq. 5):
+``AS_i -> AS_0 : AEAD_{K_{AS_i -> AS_0}}(sigma_i)``.
+
+We build AEAD from the library PRF in an encrypt-then-MAC construction:
+
+* a keystream is derived per message from ``(key, nonce)`` and XORed with
+  the plaintext (a stream cipher in counter mode);
+* a MAC over ``nonce || associated_data || ciphertext`` authenticates the
+  whole message under a MAC subkey derived from the same key.
+
+The nonce is chosen randomly per seal and carried with the ciphertext, so
+callers only manage the shared DRKey.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.crypto.mac import constant_time_equal, mac
+from repro.crypto.prf import prf
+from repro.errors import AeadError
+
+NONCE_LENGTH = 12
+TAG_LENGTH = 16
+
+_ENC_LABEL = b"colibri-aead-enc"
+_MAC_LABEL = b"colibri-aead-mac"
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Derive ``length`` pseudo-random bytes from ``(key, nonce)``."""
+    enc_key = prf(key, _ENC_LABEL)
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(prf(enc_key, nonce + counter.to_bytes(8, "big")))
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def aead_seal(key: bytes, plaintext: bytes, associated_data: bytes = b"") -> bytes:
+    """Encrypt and authenticate ``plaintext``.
+
+    Returns ``nonce || ciphertext || tag``; the associated data is
+    authenticated but not transmitted (the caller reconstructs it).
+    """
+    nonce = os.urandom(NONCE_LENGTH)
+    stream = _keystream(key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    mac_key = prf(key, _MAC_LABEL)
+    tag = mac(mac_key, nonce + associated_data + ciphertext)
+    return nonce + ciphertext + tag
+
+
+def aead_open(key: bytes, sealed: bytes, associated_data: bytes = b"") -> bytes:
+    """Verify and decrypt a message produced by :func:`aead_seal`.
+
+    Raises :class:`AeadError` if the message is truncated or the tag does
+    not verify (tampering, wrong key, or wrong associated data).
+    """
+    if len(sealed) < NONCE_LENGTH + TAG_LENGTH:
+        raise AeadError(f"sealed message too short: {len(sealed)} bytes")
+    nonce = sealed[:NONCE_LENGTH]
+    ciphertext = sealed[NONCE_LENGTH:-TAG_LENGTH]
+    tag = sealed[-TAG_LENGTH:]
+    mac_key = prf(key, _MAC_LABEL)
+    expected = mac(mac_key, nonce + associated_data + ciphertext)
+    if not constant_time_equal(expected, tag):
+        raise AeadError("AEAD tag verification failed")
+    stream = _keystream(key, nonce, len(ciphertext))
+    return bytes(c ^ s for c, s in zip(ciphertext, stream))

@@ -1,0 +1,124 @@
+"""DRKey: dynamically-recreatable symmetric keys (§2.3, Eq. 1).
+
+Each AS *A* holds a secret value ``K_A``.  The AS-level key shared with
+another AS *B* is derived on the fly:
+
+    K_{A->B} = PRF_{K_A}(B)
+
+The arrow marks the asymmetry: *A* derives the key instantly from its
+secret value; *B* must fetch it from *A*'s key server once per validity
+period (:mod:`repro.crypto.keyserver`).  Host-level keys are derived from
+the AS-level key by a further PRF step, as footnote 2 of the paper notes.
+
+Secret values rotate: a :class:`DrkeySecret` is bound to an epoch of
+``DRKEY_VALIDITY`` seconds, and a :class:`DrkeyDeriver` manages the
+rotation so keys derived in one epoch verify only within it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.constants import DRKEY_VALIDITY
+from repro.crypto.prf import prf, random_key
+from repro.util.clock import Clock
+
+EntityId = Union[bytes, str, int]
+
+
+def encode_entity(entity: EntityId) -> bytes:
+    """Canonical byte encoding of an AS or host identifier.
+
+    Accepts raw bytes, strings (e.g. ``'1-ff00:0:110'``), integers, or any
+    object exposing a ``packed`` bytes attribute (like
+    :class:`repro.topology.addresses.IsdAs`).
+    """
+    packed = getattr(entity, "packed", None)
+    if packed is not None:
+        return bytes(packed)
+    if isinstance(entity, bytes):
+        return entity
+    if isinstance(entity, str):
+        return entity.encode("utf-8")
+    if isinstance(entity, int):
+        return entity.to_bytes(8, "big")
+    raise TypeError(f"cannot encode entity of type {type(entity).__name__}")
+
+
+def derive_as_key(secret_value: bytes, remote: EntityId) -> bytes:
+    """Eq. (1): the AS-level key ``K_{A->B}`` from A's secret value."""
+    return prf(secret_value, b"as|" + encode_entity(remote))
+
+
+def derive_host_key(as_key: bytes, host: EntityId, protocol: bytes = b"colibri") -> bytes:
+    """Protocol- and host-specific key below ``K_{A->B}`` (footnote 2)."""
+    return prf(as_key, b"host|" + protocol + b"|" + encode_entity(host))
+
+
+@dataclass(frozen=True)
+class DrkeySecret:
+    """An epoch-bound AS secret value.
+
+    ``epoch`` is the integer index ``floor(creation_time / DRKEY_VALIDITY)``;
+    keys derived from this secret are valid for that epoch only.
+    """
+
+    value: bytes
+    epoch: int
+
+    @property
+    def not_before(self) -> float:
+        return self.epoch * DRKEY_VALIDITY
+
+    @property
+    def not_after(self) -> float:
+        return (self.epoch + 1) * DRKEY_VALIDITY
+
+    def covers(self, when: float) -> bool:
+        """Whether ``when`` falls inside this secret's validity epoch."""
+        return self.not_before <= when < self.not_after
+
+
+class DrkeyDeriver:
+    """Manages an AS's secret values across epochs and derives keys.
+
+    The same object serves both roles of Eq. (1): the fast side (deriving
+    ``K_{A->B}`` from the local secret value) and, combined with a
+    :class:`~repro.crypto.keyserver.KeyServer`, the slow side (answering
+    fetches from remote ASes).
+    """
+
+    def __init__(self, local_as: EntityId, clock: Clock, seed: bytes = None):
+        self.local_as = local_as
+        self.clock = clock
+        # A master seed lets epochs rotate deterministically, so two
+        # components of the same AS (CServ, router, gateway) can be built
+        # independently yet derive identical keys.
+        self._master = seed if seed is not None else random_key()
+        self._secrets: dict[int, DrkeySecret] = {}
+
+    def _epoch_of(self, when: float) -> int:
+        return int(when // DRKEY_VALIDITY)
+
+    def secret_for(self, when: float = None) -> DrkeySecret:
+        """The secret value covering time ``when`` (default: now)."""
+        if when is None:
+            when = self.clock.now()
+        epoch = self._epoch_of(when)
+        secret = self._secrets.get(epoch)
+        if secret is None:
+            value = prf(self._master, b"sv|" + epoch.to_bytes(8, "big"))
+            secret = DrkeySecret(value=value, epoch=epoch)
+            self._secrets[epoch] = secret
+        return secret
+
+    def as_key(self, remote: EntityId, when: float = None) -> bytes:
+        """Derive ``K_{local->remote}`` for the epoch covering ``when``."""
+        return derive_as_key(self.secret_for(when).value, remote)
+
+    def host_key(
+        self, remote: EntityId, host: EntityId, when: float = None, protocol: bytes = b"colibri"
+    ) -> bytes:
+        """Derive the host-level key under ``K_{local->remote}``."""
+        return derive_host_key(self.as_key(remote, when), host, protocol)

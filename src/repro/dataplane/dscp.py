@@ -1,0 +1,89 @@
+"""Intra-domain traffic-class encoding (Appendix B).
+
+"It is crucial that priority is given to Colibri traffic not only at
+border routers, but also at switches and routers in each AS's internal
+network.  This requires encoding the traffic class in the header of the
+intra-domain networking protocol in use.  For example, in an IP network,
+the traffic class can be encoded using DiffServ and the DSCP field.
+To defend against malicious hosts in an AS's network, all traffic should
+pass through a gateway that sets this field to the correct value."
+
+This module provides that encoding and the trust rule:
+
+* the mapping between Colibri classes and DSCP codepoints (standard EF /
+  AF41 / default values);
+* :func:`classify_packet` — the class a *gateway or border router*
+  assigns from what it actually verified;
+* :class:`InternalSwitch` — an intra-domain hop that schedules purely on
+  the DSCP field, but only honours markings applied by a trusted marker
+  (the gateway), remarking everything else to best-effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataplane.queueing import PriorityScheduler, TrafficClass
+from repro.packets.colibri import ColibriPacket
+
+#: Standard DSCP codepoints carrying the three Colibri classes inside an
+#: AS (RFC 2474/2598 values).
+DSCP_EF = 46  # expedited forwarding  -> Colibri EER data
+DSCP_AF41 = 34  # assured forwarding    -> Colibri control over SegRs
+DSCP_DEFAULT = 0  # default forwarding    -> best effort
+
+CLASS_TO_DSCP = {
+    TrafficClass.EER_DATA: DSCP_EF,
+    TrafficClass.CONTROL: DSCP_AF41,
+    TrafficClass.BEST_EFFORT: DSCP_DEFAULT,
+}
+DSCP_TO_CLASS = {dscp: cls for cls, dscp in CLASS_TO_DSCP.items()}
+
+
+def classify_packet(packet: ColibriPacket, authenticated: bool) -> TrafficClass:
+    """The traffic class a trusted marker assigns to a packet.
+
+    Only *authenticated* Colibri packets earn a Colibri class; anything
+    else — including Colibri-shaped packets that failed the HVF check —
+    is best effort at most (it will normally be dropped before this).
+    """
+    if not authenticated:
+        return TrafficClass.BEST_EFFORT
+    if packet.is_eer_data:
+        return TrafficClass.EER_DATA
+    return TrafficClass.CONTROL
+
+
+@dataclass
+class MarkedFrame:
+    """An intra-domain frame: payload size, DSCP field, and who marked it."""
+
+    size_bytes: int
+    dscp: int
+    marked_by_gateway: bool
+
+
+class InternalSwitch:
+    """An AS-internal switch honouring DSCP — but only from the gateway.
+
+    Hosts can write anything into their headers; the Appendix B rule is
+    that the *gateway* is the sole trusted marker, so the switch remarks
+    every non-gateway frame to the default class before queueing.  The
+    ``remarked`` counter exposes attempted priority theft.
+    """
+
+    def __init__(self, capacity: float, queue_bytes: int = None):
+        kwargs = {} if queue_bytes is None else {"queue_bytes": queue_bytes}
+        self.scheduler = PriorityScheduler(capacity, **kwargs)
+        self.remarked = 0
+
+    def ingest(self, frame: MarkedFrame) -> bool:
+        dscp = frame.dscp
+        if not frame.marked_by_gateway and dscp != DSCP_DEFAULT:
+            self.remarked += 1
+            dscp = DSCP_DEFAULT
+        traffic_class = DSCP_TO_CLASS.get(dscp, TrafficClass.BEST_EFFORT)
+        return self.scheduler.enqueue(frame.size_bytes, traffic_class)
+
+    def drain(self, duration: float) -> dict:
+        return self.scheduler.drain(duration)

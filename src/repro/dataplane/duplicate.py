@@ -1,0 +1,145 @@
+"""In-network replay suppression (§2.3, §5.1).
+
+An on-path adversary can capture an authenticated packet and replay it,
+both congesting the path and framing the honest source.  Colibri relies
+on "an efficient duplicate-packet-suppression system with minimal state
+requirements" [32].  Following that design, we keep **rotating Bloom
+filters**: the current filter absorbs insertions, the previous one is
+still consulted, and rotation every ``window`` seconds bounds memory
+regardless of traffic volume.
+
+Only packets inside the freshness window can be replayed at all — older
+ones already fail the router's timestamp check — so two filters covering
+one window each suffice for no-false-negative suppression.
+
+The packet identifier is ``(SrcAS, ResId, Ts)``: the paper makes Ts
+"uniquely identif[y] the packet for the particular source".
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.constants import DUPLICATE_WINDOW
+from repro.util.clock import Clock
+
+
+class _BloomFilter:
+    """A classic k-hash Bloom filter over a bit array."""
+
+    def __init__(self, bits: int, hashes: int):
+        self.bits = bits
+        self.hashes = hashes
+        self._array = bytearray((bits + 7) // 8)
+        self.insertions = 0
+
+    def _positions(self, item: bytes):
+        digest = hashlib.blake2b(item, digest_size=8 * self.hashes).digest()
+        for index in range(self.hashes):
+            chunk = digest[8 * index : 8 * (index + 1)]
+            yield int.from_bytes(chunk, "big") % self.bits
+
+    def add(self, item: bytes) -> None:
+        for position in self._positions(item):
+            self._array[position >> 3] |= 1 << (position & 7)
+        self.insertions += 1
+
+    def __contains__(self, item: bytes) -> bool:
+        return all(
+            self._array[position >> 3] & (1 << (position & 7))
+            for position in self._positions(item)
+        )
+
+    def clear(self) -> None:
+        for index in range(len(self._array)):
+            self._array[index] = 0
+        self.insertions = 0
+
+
+class DuplicateSuppressor:
+    """Rotating-Bloom-filter replay suppression for one border router.
+
+    ``check_and_insert`` returns ``True`` exactly once per identifier per
+    window pair (no false negatives); false positives are possible at the
+    configured Bloom rate and simply drop an occasional legitimate packet,
+    which the paper accepts as the price of bounded state.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        window: float = DUPLICATE_WINDOW,
+        bits: int = 1 << 20,
+        hashes: int = 4,
+    ):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.clock = clock
+        self.window = window
+        self._current = _BloomFilter(bits, hashes)
+        self._previous = _BloomFilter(bits, hashes)
+        self._rotated_at = clock.now()
+        self.duplicates_caught = 0
+
+    def _maybe_rotate(self, now: float) -> None:
+        if now - self._rotated_at >= self.window:
+            self._previous, self._current = self._current, self._previous
+            self._current.clear()
+            self._rotated_at = now
+
+    def check_and_insert(self, identifier: bytes) -> bool:
+        """``True`` if the packet is fresh (and is now recorded);
+        ``False`` if it is a duplicate and must be discarded."""
+        now = self.clock.now()
+        self._maybe_rotate(now)
+        if identifier in self._current or identifier in self._previous:
+            self.duplicates_caught += 1
+            return False
+        self._current.add(identifier)
+        return True
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total filter memory — constant, independent of traffic volume."""
+        return len(self._current._array) + len(self._previous._array)
+
+    def false_positive_rate(self) -> float:
+        """Probability a *fresh* packet is wrongly suppressed, from the
+        filters' actual fill fractions (``fill^k`` per filter).
+
+        The measured fill is used instead of the textbook
+        ``(1-e^{-kn/m})^k`` because check-and-insert only inserts items
+        that were *not* flagged, a selection effect that fills the filter
+        faster than unconditioned insertion.  A fresh identifier is
+        dropped if either filter false-positives:
+        ``1 - (1-p_cur)(1-p_prev)``.  Operators size the filter so this
+        stays negligible at their line rate (an occasional legitimate
+        drop is the accepted cost of bounded state, §2.3).
+        """
+
+        def per_filter(bloom: _BloomFilter) -> float:
+            if bloom.insertions == 0:
+                return 0.0
+            set_bits = sum(bin(byte).count("1") for byte in bloom._array)
+            return (set_bits / bloom.bits) ** bloom.hashes
+
+        p_current = per_filter(self._current)
+        p_previous = per_filter(self._previous)
+        return 1.0 - (1.0 - p_current) * (1.0 - p_previous)
+
+    @classmethod
+    def size_for(
+        cls, packets_per_window: int, target_fp_rate: float, hashes: int = 4
+    ) -> int:
+        """Bits needed so a window of ``packets_per_window`` insertions
+        stays under ``target_fp_rate`` — the provisioning formula."""
+        import math
+
+        if not 0 < target_fp_rate < 1:
+            raise ValueError(f"target rate must be in (0,1), got {target_fp_rate}")
+        if packets_per_window <= 0:
+            raise ValueError("packets per window must be positive")
+        # Invert (1 - e^{-kn/m})^k = p  ->  m = -kn / ln(1 - p^{1/k}).
+        per_filter_target = target_fp_rate / 2  # two filters consulted
+        root = per_filter_target ** (1.0 / hashes)
+        return math.ceil(-hashes * packets_per_window / math.log(1.0 - root))

@@ -1,0 +1,200 @@
+"""The Colibri gateway (§3.2, §4.6).
+
+All Colibri traffic of an AS's end hosts passes through the gateway,
+which is the *stateful* half of the data plane:
+
+* it maps the ResId of incoming EER packets to the Path, ResInfo,
+  EERInfo, and HopAuths obtained during setup/renewal;
+* it performs **deterministic traffic monitoring** (token bucket per
+  flow) — the duty other ASes hold this AS accountable for;
+* it generates the high-precision timestamp Ts and computes the HVFs for
+  all on-path ASes (Eq. 6), confirming "that it has performed the
+  mandatory flow monitoring and authorized this packet".
+
+HopAuths are **per version**: Eq. (4) covers ResInfo, which contains the
+version number, so a renewal installs a fresh HopAuth set.  The gateway
+stamps packets with the latest live version (§4.2) while the monitor
+keys on the reservation ID alone, so using several versions can never
+exceed the maximum version bandwidth (§4.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dataplane.hvf import eer_hvf
+from repro.dataplane.monitor import DeterministicMonitor
+from repro.errors import (
+    BandwidthExceeded,
+    ReservationExpired,
+    ReservationNotFound,
+)
+from repro.packets.colibri import ColibriPacket, PacketType
+from repro.packets.fields import EerInfo, PathField, ResInfo, Timestamp
+from repro.reservation.ids import ReservationId
+from repro.topology.addresses import IsdAs
+from repro.util.clock import Clock
+
+
+@dataclass
+class GatewayVersion:
+    """One installed EER version: its ResInfo and per-AS HopAuths."""
+
+    res_info: ResInfo
+    hop_auths: tuple  # one sigma_i per on-path AS, in path order
+
+    @property
+    def version(self) -> int:
+        return self.res_info.version
+
+    @property
+    def expiry(self) -> float:
+        return self.res_info.expiry
+
+    def is_live(self, now: float) -> bool:
+        return now < self.res_info.expiry
+
+
+@dataclass
+class GatewayReservation:
+    """Everything the gateway keeps per EER."""
+
+    reservation_id: ReservationId
+    path: PathField
+    eer_info: EerInfo
+    versions: dict  # version number -> GatewayVersion
+
+    def latest_live(self, now: float) -> Optional[GatewayVersion]:
+        live = [v for v in self.versions.values() if v.is_live(now)]
+        return max(live, key=lambda v: v.version) if live else None
+
+    def effective_bandwidth(self, now: float) -> float:
+        return max(
+            (v.res_info.bandwidth for v in self.versions.values() if v.is_live(now)),
+            default=0.0,
+        )
+
+
+class ColibriGateway:
+    """The source AS's gateway: monitor, stamp, and forward EER packets."""
+
+    def __init__(self, isd_as: IsdAs, clock: Clock, monitor: DeterministicMonitor = None):
+        self.isd_as = isd_as
+        self.clock = clock
+        self.monitor = monitor or DeterministicMonitor()
+        self._reservations: dict[ReservationId, GatewayReservation] = {}
+        self._last_micros: dict[ReservationId, tuple] = {}  # (micros, seq)
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+    # -- reservation installation (fed by the CServ after EER setup) -----------
+
+    def install(
+        self,
+        reservation_id: ReservationId,
+        path: PathField,
+        eer_info: EerInfo,
+        res_info: ResInfo,
+        hop_auths: tuple,
+    ) -> None:
+        """Install a new EER or an additional version of an existing one.
+
+        Called by the CServ with the HopAuths it decrypted from the setup
+        or renewal response (step 5 of Fig. 1b).
+        """
+        if len(hop_auths) != len(path):
+            raise ValueError(
+                f"need one HopAuth per hop: {len(hop_auths)} vs {len(path)} hops"
+            )
+        entry = self._reservations.get(reservation_id)
+        if entry is None:
+            entry = GatewayReservation(
+                reservation_id=reservation_id,
+                path=path,
+                eer_info=eer_info,
+                versions={},
+            )
+            self._reservations[reservation_id] = entry
+        entry.versions[res_info.version] = GatewayVersion(
+            res_info=res_info, hop_auths=tuple(hop_auths)
+        )
+        # (Re-)arm the deterministic monitor at the new effective bandwidth.
+        now = self.clock.now()
+        self.monitor.watch(
+            reservation_id.packed, entry.effective_bandwidth(now), now
+        )
+
+    def uninstall(self, reservation_id: ReservationId) -> None:
+        self._reservations.pop(reservation_id, None)
+        self._last_micros.pop(reservation_id, None)
+        self.monitor.unwatch(reservation_id.packed)
+
+    def reservation_count(self) -> int:
+        return len(self._reservations)
+
+    def known_reservations(self) -> list:
+        return list(self._reservations)
+
+    # -- the per-packet fast path (§4.6) ------------------------------------------
+
+    def _timestamp(self, reservation_id: ReservationId, expiry: float, now: float) -> Timestamp:
+        """Unique Ts per packet: microseconds before expiry + sequence
+        counter for packets created in the same microsecond."""
+        micros = int((expiry - now) * 1e6)
+        last = self._last_micros.get(reservation_id)
+        sequence = last[1] + 1 if last is not None and last[0] == micros else 0
+        self._last_micros[reservation_id] = (micros, sequence)
+        return Timestamp(micros, sequence)
+
+    def send(self, reservation_id: ReservationId, payload: bytes) -> ColibriPacket:
+        """Process one packet from a local end host.
+
+        The host hands the gateway its ResId and payload (its packet's
+        "header fields are empty, with the exception of the ResId and the
+        Payload").  Returns the fully stamped packet ready for the border
+        router, or raises — a raise is a drop.
+        """
+        now = self.clock.now()
+        entry = self._reservations.get(reservation_id)
+        if entry is None:
+            self.packets_dropped += 1
+            raise ReservationNotFound(f"gateway has no EER {reservation_id}")
+        version = entry.latest_live(now)
+        if version is None:
+            self.packets_dropped += 1
+            raise ReservationExpired(f"all versions of EER {reservation_id} expired")
+
+        # Deterministic monitoring before stamping: a non-conforming
+        # packet is dropped and never authorized.
+        timestamp = self._timestamp(reservation_id, version.expiry, now)
+        packet = ColibriPacket(
+            packet_type=PacketType.EER_DATA,
+            path=entry.path,
+            res_info=version.res_info,
+            timestamp=timestamp,
+            hvfs=[ColibriPacket.EMPTY_HVF] * len(entry.path),
+            eer_info=entry.eer_info,
+            payload=payload,
+        )
+        size = packet.total_size
+        if not self.monitor.check(reservation_id.packed, size, now):
+            self.packets_dropped += 1
+            raise BandwidthExceeded(
+                f"EER {reservation_id} exceeded its reserved rate"
+            )
+        packet.hvfs = [
+            eer_hvf(sigma, timestamp, size) for sigma in version.hop_auths
+        ]
+        self.packets_sent += 1
+        return packet
+
+    def refresh_monitor(self, reservation_id: ReservationId) -> None:
+        """Re-sync the monitor rate after versions expired (called lazily
+        by housekeeping; expiry of a high-bandwidth version lowers the
+        effective budget)."""
+        entry = self._reservations.get(reservation_id)
+        if entry is None:
+            return
+        now = self.clock.now()
+        self.monitor.watch(reservation_id.packed, entry.effective_bandwidth(now), now)

@@ -1,0 +1,124 @@
+"""Hop validation fields: the two-step MAC scheme of §4.5 (Fig. 2).
+
+Three computations, all over bytes that are explicit in the packet header
+so routers need **no per-reservation state**:
+
+* Eq. (3) — SegR token, embedded as the HVF of control packets::
+
+      V_i^(S) = MAC_{K_i}(ResInfo || (In_i, Eg_i))[0:l_hvf]
+
+* Eq. (4) — HopAuth, computed at EER setup, *untruncated* because it then
+  serves as a secret per-reservation key shared between AS_i and the
+  source AS's gateway::
+
+      sigma_i = MAC_{K_i}(ResInfo || EERInfo || (In_i, Eg_i))
+
+* Eq. (6) — per-packet HVF of EER data packets, computed by the gateway
+  under sigma_i and re-derived by the router (which first recomputes
+  sigma_i from its own K_i)::
+
+      V_i^(E) = MAC_{sigma_i}(Ts || PktSize)[0:l_hvf]
+
+``K_i`` is the AS's Colibri hop secret.  :class:`ColibriKeys` derives it
+from the same per-AS master seed as the DRKey secret values, so the
+CServ, gateway and border routers of one AS agree on keys without any
+state sharing.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.constants import L_HVF
+from repro.crypto.drkey import DrkeyDeriver, EntityId
+from repro.crypto.mac import constant_time_equal, mac, truncated_mac
+from repro.crypto.prf import prf
+from repro.errors import HvfMismatch
+from repro.packets.fields import EerInfo, ResInfo, Timestamp
+
+_PAIR = struct.Struct("!HH")
+_SIZE = struct.Struct("!I")
+_HOP_LABEL = b"colibri-hop-secret"
+
+
+def _pair_bytes(ingress: int, egress: int) -> bytes:
+    return _PAIR.pack(ingress, egress)
+
+
+def segment_token(
+    hop_key: bytes, res_info: ResInfo, ingress: int, egress: int
+) -> bytes:
+    """Eq. (3): the truncated SegR token for one AS."""
+    return truncated_mac(hop_key, res_info.packed + _pair_bytes(ingress, egress), L_HVF)
+
+
+def verify_segment_token(
+    hop_key: bytes, res_info: ResInfo, ingress: int, egress: int, token: bytes
+) -> None:
+    """Recompute Eq. (3) on the fly and compare; raises on mismatch."""
+    expected = segment_token(hop_key, res_info, ingress, egress)
+    if not constant_time_equal(expected, token):
+        raise HvfMismatch(
+            f"SegR token mismatch for reservation {res_info.reservation} "
+            f"at interface pair ({ingress}, {egress})"
+        )
+
+
+def hop_authenticator(
+    hop_key: bytes, res_info: ResInfo, eer_info: EerInfo, ingress: int, egress: int
+) -> bytes:
+    """Eq. (4): the full-width HopAuth — a reservation-specific secret key."""
+    data = res_info.packed + eer_info.packed + _pair_bytes(ingress, egress)
+    return mac(hop_key, data)
+
+
+def eer_hvf(hop_auth: bytes, timestamp: Timestamp, packet_size: int) -> bytes:
+    """Eq. (6): the per-packet HVF stamped by the gateway.
+
+    ``packet_size`` includes the Colibri header — authenticating the total
+    size is what stops malicious source ASes flooding with tiny-payload
+    packets and what lets the OFD normalize fairly (§4.8).
+    """
+    return truncated_mac(hop_auth, timestamp.packed + _SIZE.pack(packet_size), L_HVF)
+
+
+def verify_eer_hvf(
+    hop_auth: bytes, timestamp: Timestamp, packet_size: int, hvf: bytes
+) -> None:
+    expected = eer_hvf(hop_auth, timestamp, packet_size)
+    if not constant_time_equal(expected, hvf):
+        raise HvfMismatch(
+            f"EER HVF mismatch (packet size {packet_size}, ts {timestamp!r})"
+        )
+
+
+class ColibriKeys:
+    """Per-AS key material for the data plane.
+
+    Wraps the AS's :class:`~repro.crypto.drkey.DrkeyDeriver` and adds the
+    Colibri hop secret ``K_i`` (Eqs. 3-4), derived per DRKey epoch from
+    the same master seed.  All components of one AS constructed over the
+    same deriver agree on every key.
+    """
+
+    def __init__(self, deriver: DrkeyDeriver):
+        self.deriver = deriver
+        self._hop_keys: dict[int, bytes] = {}
+
+    @property
+    def local_as(self) -> EntityId:
+        return self.deriver.local_as
+
+    def hop_key(self, when: float = None) -> bytes:
+        """The AS secret ``K_i`` for the epoch covering ``when``."""
+        secret = self.deriver.secret_for(when)
+        key = self._hop_keys.get(secret.epoch)
+        if key is None:
+            key = prf(secret.value, _HOP_LABEL)
+            self._hop_keys[secret.epoch] = key
+        return key
+
+    def control_key(self, remote: EntityId, when: float = None) -> bytes:
+        """``K_{local->remote}`` used for control-plane MACs and the
+        AEAD channel of Eq. (5)."""
+        return self.deriver.as_key(remote, when)

@@ -1,0 +1,98 @@
+"""Deterministic monitoring (§4.8).
+
+Two uses:
+
+* at the **source AS**, the gateway monitors every local EER
+  deterministically (one token bucket per flow) while stamping HVFs;
+* at **other ASes**, flows the probabilistic OFD flagged as suspects are
+  "subjected to deterministic monitoring, which inspects the reservation
+  precisely — similar to the monitoring at the source AS — to determine
+  overuse with certainty."
+
+:class:`DeterministicMonitor` is that shared machinery: a table of token
+buckets keyed by flow label, sized only by the number of *monitored*
+flows (all local flows at the source, only suspects elsewhere).
+A confirmed overuse is reported through a callback — the hook where the
+border router blocks the source AS and notifies the CServ (policing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.constants import DEFAULT_BURST_SECONDS
+from repro.dataplane.token_bucket import TokenBucket
+
+#: Number of non-conforming packets after which overuse is *confirmed*
+#: rather than attributed to an isolated burst.
+DEFAULT_CONFIRMATION_DROPS = 3
+
+
+class DeterministicMonitor:
+    """Exact per-flow rate enforcement over token buckets."""
+
+    def __init__(
+        self,
+        burst_seconds: float = DEFAULT_BURST_SECONDS,
+        confirmation_drops: int = DEFAULT_CONFIRMATION_DROPS,
+        on_confirmed: Optional[Callable] = None,
+    ):
+        self.burst_seconds = burst_seconds
+        self.confirmation_drops = confirmation_drops
+        self.on_confirmed = on_confirmed
+        self._buckets: dict[bytes, TokenBucket] = {}
+        self._drops: dict[bytes, int] = {}
+        self._confirmed: set = set()
+        self.packets_passed = 0
+        self.packets_dropped = 0
+
+    def watch(self, flow_label: bytes, bandwidth: float, now: float) -> None:
+        """Start (or update) deterministic monitoring of a flow.
+
+        Called for every local EER at the source gateway, and for OFD
+        suspects at transit ASes.  On renewal the bucket's rate follows
+        the new effective bandwidth instead of being re-created, so the
+        flow cannot reset its burst budget by renewing.
+        """
+        bucket = self._buckets.get(flow_label)
+        if bucket is None:
+            self._buckets[flow_label] = TokenBucket(
+                bandwidth, self.burst_seconds, now=now
+            )
+        elif bucket.rate != bandwidth:
+            bucket.set_rate(bandwidth, now, self.burst_seconds)
+
+    def unwatch(self, flow_label: bytes) -> None:
+        self._buckets.pop(flow_label, None)
+        self._drops.pop(flow_label, None)
+        self._confirmed.discard(flow_label)
+
+    def is_watched(self, flow_label: bytes) -> bool:
+        return flow_label in self._buckets
+
+    def check(self, flow_label: bytes, packet_size: int, now: float) -> bool:
+        """Account one packet; ``True`` = conforming, ``False`` = drop.
+
+        Unwatched flows pass — the caller decides what to watch.
+        """
+        bucket = self._buckets.get(flow_label)
+        if bucket is None:
+            self.packets_passed += 1
+            return True
+        if bucket.conforms(packet_size, now):
+            self.packets_passed += 1
+            return True
+        self.packets_dropped += 1
+        drops = self._drops.get(flow_label, 0) + 1
+        self._drops[flow_label] = drops
+        if drops >= self.confirmation_drops and flow_label not in self._confirmed:
+            self._confirmed.add(flow_label)
+            if self.on_confirmed is not None:
+                self.on_confirmed(flow_label)
+        return False
+
+    def is_confirmed_overuser(self, flow_label: bytes) -> bool:
+        return flow_label in self._confirmed
+
+    def watched_count(self) -> int:
+        return len(self._buckets)

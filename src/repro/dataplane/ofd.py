@@ -1,0 +1,114 @@
+"""Probabilistic overuse-flow detection (§4.8).
+
+"The probabilistic overuse flow detector (OFD) represents the centerpiece
+of the monitoring architecture in transit and transfer ASes."  It must
+track an enormous number of flows in a cache-sized footprint, so exact
+per-flow counters are out; Colibri cites sketch-based detectors
+(LOFT [44], large-flow detection [64]).
+
+This implementation is a **count-min sketch over normalized packet
+sizes**, reset every measurement window:
+
+* input per packet: the flow label ``(SrcAS, ResId)`` — all versions of
+  an EER share it — and the *normalized* size
+  ``total packet size / reservation bandwidth`` (§4.8), which is the
+  fraction of one second's budget the packet consumes;
+* a flow is reported when its estimated normalized volume within the
+  window exceeds ``window * overuse_factor`` — i.e. it consumed more
+  than its reserved share of the window (plus slack against noise).
+
+Count-min estimates never under-count, so the OFD has **no false
+negatives**: every truly overusing flow is reported.  Collisions can
+over-count, producing false positives — exactly why §4.8 sends suspects
+to deterministic monitoring instead of punishing them directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.constants import (
+    OFD_DEFAULT_DEPTH,
+    OFD_DEFAULT_WIDTH,
+    OFD_DEFAULT_WINDOW,
+    OFD_OVERUSE_FACTOR,
+)
+
+
+class OveruseFlowDetector:
+    """Windowed count-min sketch reporting suspected overuse flows."""
+
+    def __init__(
+        self,
+        width: int = OFD_DEFAULT_WIDTH,
+        depth: int = OFD_DEFAULT_DEPTH,
+        window: float = OFD_DEFAULT_WINDOW,
+        overuse_factor: float = OFD_OVERUSE_FACTOR,
+    ):
+        if width <= 0 or depth <= 0:
+            raise ValueError(f"sketch geometry must be positive: {width}x{depth}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.width = width
+        self.depth = depth
+        self.window = window
+        self.overuse_factor = overuse_factor
+        self._rows = [[0.0] * width for _ in range(depth)]
+        self._window_start = 0.0
+        self._suspects: set = set()
+        self.packets_seen = 0
+        self.reports = 0
+
+    def _positions(self, label: bytes):
+        digest = hashlib.blake2b(label, digest_size=4 * self.depth).digest()
+        for row in range(self.depth):
+            chunk = digest[4 * row : 4 * (row + 1)]
+            yield row, int.from_bytes(chunk, "big") % self.width
+
+    def _maybe_roll(self, now: float) -> None:
+        if now - self._window_start >= self.window:
+            for row in self._rows:
+                for index in range(self.width):
+                    row[index] = 0.0
+            self._suspects.clear()
+            self._window_start = now
+
+    def observe(self, flow_label: bytes, packet_size: int, bandwidth: float, now: float) -> bool:
+        """Record one packet; returns ``True`` if the flow is now suspect.
+
+        ``packet_size`` is the total size in bytes (header included);
+        ``bandwidth`` the reservation's guaranteed bits per second.
+        Normalization makes one detector serve every bandwidth class.
+        """
+        self._maybe_roll(now)
+        self.packets_seen += 1
+        if bandwidth <= 0:
+            # A packet on a zero-bandwidth (fully expired) reservation is
+            # overusing by definition.
+            self._suspects.add(flow_label)
+            self.reports += 1
+            return True
+        normalized = (packet_size * 8) / bandwidth  # seconds of budget
+        estimate = float("inf")
+        for row, position in self._positions(flow_label):
+            self._rows[row][position] += normalized
+            estimate = min(estimate, self._rows[row][position])
+        threshold = self.window * self.overuse_factor
+        if estimate > threshold and flow_label not in self._suspects:
+            self._suspects.add(flow_label)
+            self.reports += 1
+            return True
+        return False
+
+    def is_suspect(self, flow_label: bytes) -> bool:
+        return flow_label in self._suspects
+
+    def suspects(self) -> set:
+        """Flows flagged in the current window, for handoff to the
+        deterministic monitor (§4.8)."""
+        return set(self._suspects)
+
+    @property
+    def memory_cells(self) -> int:
+        """Sketch size — fixed, independent of the number of flows."""
+        return self.width * self.depth

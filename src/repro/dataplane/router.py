@@ -1,0 +1,207 @@
+"""The Colibri border router (§4.6) — the stateless fast path.
+
+Per packet, the router of the i-th on-path AS:
+
+1. validates packet format, header contents, freshness, and that the
+   reservation has not expired;
+2. consults the policing blocklist (§4.8) — an O(1) hash-set lookup;
+3. authenticates the HVF: for SegR packets by recomputing the Eq. (3)
+   token; for EER packets by recomputing the HopAuth (Eq. 4) from the
+   AS secret and deriving the per-packet HVF (Eq. 6) — *no
+   per-reservation state*, everything comes from the packet header and
+   one AS-level key;
+4. suppresses duplicates (replay defence, §2.3);
+5. feeds the probabilistic overuse detector and, for flagged flows, the
+   deterministic monitor; confirmed overusers get their source AS
+   blocked and reported (§4.8);
+6. forwards: to the next border router (advancing the hop pointer), to
+   the local CServ (SegR control packets), or to the destination host
+   (last hop of an EER).
+
+Every drop reason is an explicit enum member so tests, the simulator,
+and Table 2 accounting can distinguish *why* traffic died.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.constants import FRESHNESS_WINDOW, MAX_CLOCK_SKEW
+from repro.dataplane.blocklist import Blocklist
+from repro.dataplane.duplicate import DuplicateSuppressor
+from repro.dataplane.hvf import ColibriKeys, eer_hvf, hop_authenticator, segment_token
+from repro.dataplane.monitor import DeterministicMonitor
+from repro.dataplane.ofd import OveruseFlowDetector
+from repro.crypto.mac import constant_time_equal
+from repro.packets.colibri import ColibriPacket
+from repro.topology.addresses import IsdAs
+from repro.util.clock import Clock
+
+
+class Verdict(enum.Enum):
+    """What to do with the packet after processing."""
+
+    FORWARD = "forward"  # hand to the next AS's border router
+    DELIVER_HOST = "deliver_host"  # last hop of an EER: to DstHost
+    DELIVER_CSERV = "deliver_cserv"  # SegR control packet: to local CServ
+    DROP_EXPIRED = "drop_expired"
+    DROP_STALE = "drop_stale"  # failed the freshness check
+    DROP_BAD_HVF = "drop_bad_hvf"  # cryptographic check failed
+    DROP_BLOCKED = "drop_blocked"  # source AS on the blocklist
+    DROP_DUPLICATE = "drop_duplicate"  # replay suppressed
+    DROP_OVERUSE = "drop_overuse"  # deterministic monitor non-conformance
+
+    @property
+    def is_drop(self) -> bool:
+        return self.name.startswith("DROP")
+
+
+@dataclass
+class RouterResult:
+    verdict: Verdict
+    packet: ColibriPacket
+    egress: Optional[int] = None  # interface to forward on (FORWARD only)
+
+
+class BorderRouter:
+    """One AS's Colibri border router."""
+
+    def __init__(
+        self,
+        isd_as: IsdAs,
+        keys: ColibriKeys,
+        clock: Clock,
+        blocklist: Optional[Blocklist] = None,
+        duplicates: Optional[DuplicateSuppressor] = None,
+        ofd: Optional[OveruseFlowDetector] = None,
+        monitor: Optional[DeterministicMonitor] = None,
+        on_offense: Optional[Callable] = None,
+    ):
+        self.isd_as = isd_as
+        self.keys = keys
+        self.clock = clock
+        self.blocklist = blocklist or Blocklist()
+        self.duplicates = duplicates or DuplicateSuppressor(clock)
+        self.ofd = ofd or OveruseFlowDetector()
+        self.monitor = monitor or DeterministicMonitor()
+        #: Called with (source AS, reservation id) when overuse is
+        #: confirmed — the report to the local CServ (§4.8).
+        self.on_offense = on_offense
+        self.stats = {verdict: 0 for verdict in Verdict}
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _authenticate(self, packet: ColibriPacket, now: float) -> bool:
+        """Recompute the HVF for the current hop, statelessly.
+
+        HopAuths and tokens are minted from the hop key of the epoch in
+        which the reservation was *set up*; DRKey epochs last a day while
+        reservations live minutes, so a reservation can straddle one
+        boundary.  Standard key-rotation practice applies: try the
+        current epoch's key first and fall back to the previous epoch's
+        (both derive from local secrets — still zero per-flow state).
+        """
+        from repro.constants import DRKEY_VALIDITY
+
+        ingress, egress = packet.current_pair()
+        hvf = packet.hvfs[packet.hop_index]
+        for when in (now, now - DRKEY_VALIDITY):
+            if when < 0:
+                continue
+            hop_key = self.keys.hop_key(when)
+            if packet.is_eer_data:
+                sigma = hop_authenticator(
+                    hop_key, packet.res_info, packet.eer_info, ingress, egress
+                )
+                expected = eer_hvf(sigma, packet.timestamp, packet.total_size)
+            else:
+                expected = segment_token(hop_key, packet.res_info, ingress, egress)
+            if constant_time_equal(expected, hvf):
+                return True
+        return False
+
+    def _fresh(self, packet: ColibriPacket, now: float) -> bool:
+        created = packet.timestamp.absolute(packet.res_info.expiry)
+        return abs(now - created) <= FRESHNESS_WINDOW
+
+    def _police(self, packet: ColibriPacket, now: float) -> Optional[Verdict]:
+        """OFD + deterministic monitoring + blocklist escalation (§4.8)."""
+        flow_label = packet.res_info.reservation.packed
+        suspect = self.ofd.observe(
+            flow_label, packet.total_size, packet.res_info.bandwidth, now
+        )
+        if suspect and not self.monitor.is_watched(flow_label):
+            # Start precise inspection of the flagged flow.
+            self.monitor.watch(flow_label, packet.res_info.bandwidth, now)
+        if not self.monitor.check(flow_label, packet.total_size, now):
+            if self.monitor.is_confirmed_overuser(flow_label):
+                # Certainty established: block and report (policing).
+                self.blocklist.block(packet.res_info.src_as)
+                if self.on_offense is not None:
+                    self.on_offense(
+                        packet.res_info.src_as, packet.res_info.reservation
+                    )
+            return Verdict.DROP_OVERUSE
+        return None
+
+    def _finish(self, packet: ColibriPacket, verdict: Verdict, egress=None) -> RouterResult:
+        self.stats[verdict] += 1
+        return RouterResult(verdict=verdict, packet=packet, egress=egress)
+
+    # -- the fast path -----------------------------------------------------------------
+
+    def process(self, packet: ColibriPacket) -> RouterResult:
+        """Run the full §4.6 pipeline on one packet."""
+        now = self.clock.now()
+
+        # 1. Reservation expiry (allow the paper's assumed clock skew).
+        if now > packet.res_info.expiry + MAX_CLOCK_SKEW:
+            return self._finish(packet, Verdict.DROP_EXPIRED)
+        # 1b. Packet freshness.
+        if not self._fresh(packet, now):
+            return self._finish(packet, Verdict.DROP_STALE)
+
+        # 2. Policing blocklist — cheap, before any crypto.
+        if self.blocklist.is_blocked(packet.res_info.src_as, now):
+            return self._finish(packet, Verdict.DROP_BLOCKED)
+
+        # 3. Cryptographic validation (Eq. 3 or Eq. 4+6).
+        if not self._authenticate(packet, now):
+            return self._finish(packet, Verdict.DROP_BAD_HVF)
+
+        if packet.is_eer_data:
+            # 4. Replay suppression on the authenticated unique identifier.
+            identifier = (
+                packet.res_info.reservation.packed + packet.timestamp.packed
+            )
+            if not self.duplicates.check_and_insert(identifier):
+                return self._finish(packet, Verdict.DROP_DUPLICATE)
+            # 5. Monitoring and policing.
+            verdict = self._police(packet, now)
+            if verdict is not None:
+                return self._finish(packet, verdict)
+            # 6. Forward towards the destination.
+            _, egress = packet.current_pair()
+            if packet.hop_index == packet.hop_count - 1:
+                return self._finish(packet, Verdict.DELIVER_HOST)
+            packet.advance_hop()
+            return self._finish(packet, Verdict.FORWARD, egress=egress)
+
+        # SegR packets carry control traffic: hand to the local CServ,
+        # which authenticates the payload with DRKey and (for requests in
+        # transit) re-injects the packet towards the next AS.
+        return self._finish(packet, Verdict.DELIVER_CSERV)
+
+    # -- bench support --------------------------------------------------------------------
+
+    def validate_only(self, packet: ColibriPacket) -> bool:
+        """Just the cryptographic hot loop (expiry + freshness + MAC), the
+        cost Figs. 5-6 measure for the border router."""
+        now = self.clock.now()
+        if now > packet.res_info.expiry + MAX_CLOCK_SKEW:
+            return False
+        if not self._fresh(packet, now):
+            return False
+        return self._authenticate(packet, now)

@@ -1,0 +1,110 @@
+"""Sample-and-hold overuse detection — an alternative OFD.
+
+§4.8 cites a family of limited-memory detectors [11, 44, 49, 64, 67];
+the default :class:`~repro.dataplane.ofd.OveruseFlowDetector` is a
+count-min sketch.  This module implements the other classic point in
+the design space, *sample and hold* (Estan & Varghese style): packets
+are sampled with a size-proportional probability; once a flow is
+sampled, it is **held** — tracked with an exact counter until the
+window ends.
+
+Tradeoff vs. the count-min OFD (measured by the ablation bench):
+
+* sample-and-hold has (near-)zero false positives — a reported flow's
+  counter is exact from the moment it was held (it can only miss volume
+  sent *before* sampling, so true usage is at least the estimate);
+* but it can false-negative: a flow whose packets are never sampled
+  escapes (probability shrinks geometrically with overuse volume);
+* count-min never false-negatives but can false-positive on collisions.
+
+Colibri's architecture tolerates either: suspects are confirmed by
+deterministic monitoring before punishment (§4.8).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constants import OFD_DEFAULT_WINDOW, OFD_OVERUSE_FACTOR
+
+
+class SampleAndHoldDetector:
+    """Windowed sample-and-hold overuse detector.
+
+    ``sample_budget`` is the expected number of samples per window per
+    reserved-rate-equivalent of traffic: a flow sending exactly its
+    reservation is sampled ``sample_budget`` times per window on
+    average, so overusers are held almost surely while the held-flow
+    table stays near the number of active heavy flows.
+    """
+
+    def __init__(
+        self,
+        max_held: int = 4096,
+        sample_budget: float = 8.0,
+        window: float = OFD_DEFAULT_WINDOW,
+        overuse_factor: float = OFD_OVERUSE_FACTOR,
+        seed: int = 1234,
+    ):
+        if max_held <= 0:
+            raise ValueError(f"held-table size must be positive, got {max_held}")
+        if sample_budget <= 0:
+            raise ValueError(f"sample budget must be positive, got {sample_budget}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.max_held = max_held
+        self.sample_budget = sample_budget
+        self.window = window
+        self.overuse_factor = overuse_factor
+        self._rng = random.Random(seed)
+        self._held: dict[bytes, float] = {}  # flow -> normalized volume
+        self._suspects: set = set()
+        self._window_start = 0.0
+        self.packets_seen = 0
+        self.reports = 0
+        self.table_full_events = 0
+
+    def _maybe_roll(self, now: float) -> None:
+        if now - self._window_start >= self.window:
+            self._held.clear()
+            self._suspects.clear()
+            self._window_start = now
+
+    def observe(self, flow_label: bytes, packet_size: int, bandwidth: float, now: float) -> bool:
+        """Record one packet; ``True`` when the flow becomes suspect."""
+        self._maybe_roll(now)
+        self.packets_seen += 1
+        if bandwidth <= 0:
+            self._suspects.add(flow_label)
+            self.reports += 1
+            return True
+        normalized = (packet_size * 8) / bandwidth  # seconds of budget
+        held = self._held.get(flow_label)
+        if held is None:
+            # Size-proportional sampling: P = budget * share-of-window.
+            probability = min(1.0, self.sample_budget * normalized / self.window)
+            if self._rng.random() >= probability:
+                return False
+            if len(self._held) >= self.max_held:
+                self.table_full_events += 1
+                return False
+            held = 0.0
+        held += normalized
+        self._held[flow_label] = held
+        threshold = self.window * self.overuse_factor
+        if held > threshold and flow_label not in self._suspects:
+            self._suspects.add(flow_label)
+            self.reports += 1
+            return True
+        return False
+
+    def is_suspect(self, flow_label: bytes) -> bool:
+        return flow_label in self._suspects
+
+    def suspects(self) -> set:
+        return set(self._suspects)
+
+    @property
+    def memory_cells(self) -> int:
+        """Current held-flow table occupancy (bounded by ``max_held``)."""
+        return len(self._held)

@@ -1,0 +1,72 @@
+"""Token-bucket rate limiting (§4.8).
+
+"An efficient approach to limit the transmission rate of the flows from
+customers while still permitting short-term spikes in traffic is the
+token bucket algorithm, which only needs to keep a time stamp and a
+counter in memory for each flow.  When a flow exceeds the maximum
+transmission rate for longer than the burst threshold, packets are
+simply dropped."
+
+The bucket is denominated in **bits**: the fill rate is the reservation
+bandwidth in bits per second, the depth is ``burst_seconds`` worth of
+that rate.  A packet conforms if the bucket holds at least its size.
+"""
+
+from __future__ import annotations
+
+from repro.constants import DEFAULT_BURST_SECONDS
+
+
+class TokenBucket:
+    """A single flow's limiter: exactly one timestamp and one counter."""
+
+    __slots__ = ("rate", "depth", "_tokens", "_updated")
+
+    def __init__(self, rate: float, burst_seconds: float = DEFAULT_BURST_SECONDS, now: float = 0.0):
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        if burst_seconds <= 0:
+            raise ValueError(f"burst must be positive, got {burst_seconds}")
+        self.rate = rate  # bits per second
+        self.depth = rate * burst_seconds  # bits
+        self._tokens = self.depth  # start full: allow an initial burst
+        self._updated = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.depth, self._tokens + elapsed * self.rate)
+            self._updated = now
+
+    def conforms(self, size_bytes: int, now: float) -> bool:
+        """Consume tokens for a packet of ``size_bytes``; False = drop.
+
+        Non-conforming packets consume nothing, so a burst that exceeds
+        the budget delays only itself — the flow recovers at ``rate``.
+        """
+        self._refill(now)
+        bits = size_bytes * 8
+        if bits <= self._tokens:
+            self._tokens -= bits
+            return True
+        return False
+
+    def set_rate(
+        self, rate: float, now: float, burst_seconds: float = DEFAULT_BURST_SECONDS
+    ) -> None:
+        """Adjust to a renewed reservation's bandwidth, preserving the
+        relative fill level so a renewal cannot mint a free burst."""
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        self._refill(now)
+        fraction = self._tokens / self.depth if self.depth > 0 else 1.0
+        self.rate = rate
+        self.depth = rate * burst_seconds
+        self._tokens = self.depth * fraction
+
+    @property
+    def available_bits(self) -> float:
+        return self._tokens
+
+    def __repr__(self) -> str:
+        return f"TokenBucket(rate={self.rate:.0f} bps, tokens={self._tokens:.0f} bits)"

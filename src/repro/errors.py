@@ -1,0 +1,174 @@
+"""Exception hierarchy for the Colibri reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ColibriError`, so
+applications can catch the whole family with a single ``except`` clause.
+The hierarchy mirrors the paper's subsystems: topology and path errors,
+cryptographic failures, reservation/admission failures, data-plane
+validation failures, and simulation errors.
+"""
+
+from __future__ import annotations
+
+
+class ColibriError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Topology and path errors
+# ---------------------------------------------------------------------------
+
+
+class TopologyError(ColibriError):
+    """Invalid topology construction or lookup (unknown AS, interface, link)."""
+
+
+class UnknownASError(TopologyError):
+    """An ISD-AS address does not exist in the topology."""
+
+
+class UnknownInterfaceError(TopologyError):
+    """An interface ID does not exist at the given AS."""
+
+
+class PathError(ColibriError):
+    """A path or segment could not be constructed or is malformed."""
+
+
+class NoSegmentError(PathError):
+    """Beaconing found no segment satisfying the query."""
+
+
+class NoPathError(PathError):
+    """No combination of segments yields an end-to-end path."""
+
+
+class SegmentCombinationError(PathError):
+    """Segments cannot be joined (no shared core AS / wrong directions)."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptography errors
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ColibriError):
+    """Base class for cryptographic failures."""
+
+
+class MacVerificationError(CryptoError):
+    """A message-authentication code did not verify."""
+
+
+class AeadError(CryptoError):
+    """AEAD decryption failed (bad tag, truncated ciphertext)."""
+
+
+class KeyFetchError(CryptoError):
+    """A DRKey second-level fetch was rejected or the key server is unknown."""
+
+
+# ---------------------------------------------------------------------------
+# Packet errors
+# ---------------------------------------------------------------------------
+
+
+class PacketError(ColibriError):
+    """A packet is malformed or fails structural validation."""
+
+
+class PacketDecodeError(PacketError):
+    """Byte-level deserialization failed."""
+
+
+class PacketFieldError(PacketError):
+    """A header field holds an out-of-range or inconsistent value."""
+
+
+# ---------------------------------------------------------------------------
+# Reservation and admission errors
+# ---------------------------------------------------------------------------
+
+
+class ReservationError(ColibriError):
+    """Base class for reservation-lifecycle failures."""
+
+
+class ReservationNotFound(ReservationError):
+    """No reservation with the given (SrcAS, ResId) is known."""
+
+
+class ReservationExpired(ReservationError):
+    """The reservation (or the version used) has expired."""
+
+
+class VersionError(ReservationError):
+    """Illegal version transition (stale version, duplicate, activation
+    of a non-pending version)."""
+
+
+class AdmissionDenied(ReservationError):
+    """The admission algorithm denied the request.
+
+    ``granted`` carries the bandwidth the AS would have granted (possibly
+    zero), letting initiators locate bottlenecks as described in §3.3.
+    """
+
+    def __init__(self, message: str, granted: float = 0.0, at_as: object = None):
+        super().__init__(message)
+        self.granted = granted
+        self.at_as = at_as
+
+
+class PolicyDenied(AdmissionDenied):
+    """An intra-AS policy (source or destination AS) refused the request."""
+
+
+class InsufficientBandwidth(AdmissionDenied):
+    """Less bandwidth than the requested minimum is available."""
+
+
+class RateLimited(ReservationError):
+    """The CServ rate limiter rejected the request (§5.3)."""
+
+
+class StoreConflict(ReservationError):
+    """A transactional store operation conflicted or was rolled back."""
+
+
+# ---------------------------------------------------------------------------
+# Data-plane errors
+# ---------------------------------------------------------------------------
+
+
+class DataPlaneError(ColibriError):
+    """Base class for forwarding-time failures."""
+
+
+class HvfMismatch(DataPlaneError):
+    """The hop validation field in the packet does not match Eq. (3)/(6)."""
+
+
+class DuplicatePacket(DataPlaneError):
+    """The replay-suppression system flagged the packet as a duplicate."""
+
+
+class SourceBlocked(DataPlaneError):
+    """The packet's source AS is on the policing blocklist (§4.8)."""
+
+
+class BandwidthExceeded(DataPlaneError):
+    """The deterministic monitor dropped the packet for overuse."""
+
+
+class FreshnessError(DataPlaneError):
+    """The packet timestamp lies outside the acceptance window."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ColibriError):
+    """Discrete-event simulation misuse (time going backwards, etc.)."""

@@ -1,0 +1,13 @@
+"""Colibri packet formats: header fields, wire encoding, control payloads."""
+
+from repro.packets.colibri import ColibriPacket, PacketType
+from repro.packets.fields import EerInfo, PathField, ResInfo, Timestamp
+
+__all__ = [
+    "ColibriPacket",
+    "PacketType",
+    "PathField",
+    "ResInfo",
+    "EerInfo",
+    "Timestamp",
+]

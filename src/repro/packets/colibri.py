@@ -1,0 +1,228 @@
+"""The Colibri packet (Eq. 2a) with byte-level serialization.
+
+One format serves all Colibri control- and data-plane traffic (§4.3):
+
+* ``SEGMENT`` packets travel over a SegR — SegR renewals and EER setup
+  requests — and carry the truncated SegR tokens of Eq. (3) as HVFs;
+* ``EER_DATA`` packets travel over an EER and carry the per-packet HVFs
+  of Eq. (6), plus the EERInfo host addresses.
+
+The header layout (big-endian)::
+
+    magic(2) version(1) flags(1) hop_count(1) hop_index(1)
+    Path        hop_count * 4 bytes
+    ResInfo     30 bytes
+    [EERInfo    8 bytes, EER_DATA only]
+    Ts          8 bytes
+    HVFs        hop_count * L_HVF bytes
+    payload_len(4) payload
+
+``hop_index`` is the only mutable field: each border router advances it as
+the packet crosses the AS, the way SCION moves its current-hop pointer.
+It is deliberately *not* covered by any MAC — a router can always set it
+to its own position, so authenticating it would add nothing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import L_HVF
+from repro.errors import PacketDecodeError, PacketFieldError
+from repro.packets.fields import EerInfo, PathField, ResInfo, Timestamp
+
+MAGIC = 0xC0B1
+FORMAT_VERSION = 1
+
+_FIXED = struct.Struct("!HBBBB")
+_PAYLOAD_LEN = struct.Struct("!I")
+
+
+class PacketType:
+    """Packet type carried in the flags byte."""
+
+    SEGMENT = 0  # control traffic over a SegR (or best-effort setup)
+    EER_DATA = 1  # data traffic over an EER
+
+    _VALID = (SEGMENT, EER_DATA)
+
+
+@dataclass
+class ColibriPacket:
+    """A parsed (or under-construction) Colibri packet.
+
+    ``hvfs`` holds one ``L_HVF``-byte tag per hop; empty tags
+    (``b'\\x00' * L_HVF``) stand for "not yet filled in" on packets still
+    at the end host (§4.6: hosts send packets with empty header fields to
+    the gateway, which fills them).
+    """
+
+    packet_type: int
+    path: PathField
+    res_info: ResInfo
+    timestamp: Timestamp
+    hvfs: list
+    eer_info: Optional[EerInfo] = None
+    payload: bytes = b""
+    hop_index: int = 0
+
+    EMPTY_HVF = b"\x00" * L_HVF
+
+    def __post_init__(self):
+        if self.packet_type not in PacketType._VALID:
+            raise PacketFieldError(f"unknown packet type {self.packet_type}")
+        if self.packet_type == PacketType.EER_DATA and self.eer_info is None:
+            raise PacketFieldError("EER data packets must carry EERInfo")
+        if len(self.hvfs) != len(self.path):
+            raise PacketFieldError(
+                f"need one HVF per hop: {len(self.hvfs)} HVFs, {len(self.path)} hops"
+            )
+        for hvf in self.hvfs:
+            if len(hvf) != L_HVF:
+                raise PacketFieldError(f"HVF must be {L_HVF} bytes, got {len(hvf)}")
+        if not 0 <= self.hop_index < len(self.path):
+            raise PacketFieldError(
+                f"hop index {self.hop_index} out of range for {len(self.path)} hops"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def blank(
+        cls,
+        packet_type: int,
+        path: PathField,
+        res_info: ResInfo,
+        timestamp: Timestamp,
+        eer_info: Optional[EerInfo] = None,
+        payload: bytes = b"",
+    ) -> "ColibriPacket":
+        """A packet with all-zero HVFs, as an end host hands to the gateway."""
+        return cls(
+            packet_type=packet_type,
+            path=path,
+            res_info=res_info,
+            timestamp=timestamp,
+            hvfs=[cls.EMPTY_HVF] * len(path),
+            eer_info=eer_info,
+            payload=payload,
+        )
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.path)
+
+    @property
+    def is_eer_data(self) -> bool:
+        return self.packet_type == PacketType.EER_DATA
+
+    @property
+    def header_size(self) -> int:
+        eer = EerInfo.SIZE if self.is_eer_data else 0
+        return (
+            _FIXED.size
+            + len(self.path) * PathField.WIRE_PAIR.size
+            + ResInfo.SIZE
+            + eer
+            + Timestamp.SIZE
+            + len(self.path) * L_HVF
+            + _PAYLOAD_LEN.size
+        )
+
+    @property
+    def total_size(self) -> int:
+        """Packet size including the Colibri header — the PktSize of Eq. (6)."""
+        return self.header_size + len(self.payload)
+
+    def advance_hop(self) -> None:
+        """Move the current-hop pointer past this AS."""
+        if self.hop_index + 1 >= len(self.path):
+            raise PacketFieldError("cannot advance past the last hop")
+        self.hop_index += 1
+
+    def current_pair(self) -> tuple:
+        """(In, Eg) interface pair at the current hop."""
+        return self.path.pair(self.hop_index)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        flags = self.packet_type & 0x0F
+        parts = [
+            _FIXED.pack(MAGIC, FORMAT_VERSION, flags, self.hop_count, self.hop_index),
+            self.path.packed,
+            self.res_info.packed,
+        ]
+        if self.is_eer_data:
+            parts.append(self.eer_info.packed)
+        parts.append(self.timestamp.packed)
+        parts.extend(self.hvfs)
+        parts.append(_PAYLOAD_LEN.pack(len(self.payload)))
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ColibriPacket":
+        if len(data) < _FIXED.size:
+            raise PacketDecodeError(f"packet truncated at fixed header: {len(data)} bytes")
+        magic, version, flags, hop_count, hop_index = _FIXED.unpack_from(data)
+        if magic != MAGIC:
+            raise PacketDecodeError(f"bad magic 0x{magic:04x}, expected 0x{MAGIC:04x}")
+        if version != FORMAT_VERSION:
+            raise PacketDecodeError(f"unsupported format version {version}")
+        packet_type = flags & 0x0F
+        if packet_type not in PacketType._VALID:
+            raise PacketDecodeError(f"unknown packet type {packet_type}")
+        if hop_count == 0:
+            raise PacketDecodeError("packet declares zero hops")
+        offset = _FIXED.size
+
+        path = PathField.unpack(data[offset:], hop_count)
+        offset += hop_count * PathField.WIRE_PAIR.size
+        res_info = ResInfo.unpack(data[offset:])
+        offset += ResInfo.SIZE
+        eer_info = None
+        if packet_type == PacketType.EER_DATA:
+            eer_info = EerInfo.unpack(data[offset:])
+            offset += EerInfo.SIZE
+        timestamp = Timestamp.unpack(data[offset:])
+        offset += Timestamp.SIZE
+        hvfs = []
+        for _ in range(hop_count):
+            hvf = data[offset : offset + L_HVF]
+            if len(hvf) != L_HVF:
+                raise PacketDecodeError("packet truncated inside HVFs")
+            hvfs.append(hvf)
+            offset += L_HVF
+        if len(data) < offset + _PAYLOAD_LEN.size:
+            raise PacketDecodeError("packet truncated at payload length")
+        (payload_len,) = _PAYLOAD_LEN.unpack_from(data, offset)
+        offset += _PAYLOAD_LEN.size
+        payload = data[offset : offset + payload_len]
+        if len(payload) != payload_len:
+            raise PacketDecodeError(
+                f"payload truncated: declared {payload_len}, got {len(payload)} bytes"
+            )
+        if hop_index >= hop_count:
+            raise PacketDecodeError(f"hop index {hop_index} >= hop count {hop_count}")
+        return cls(
+            packet_type=packet_type,
+            path=path,
+            res_info=res_info,
+            timestamp=timestamp,
+            hvfs=hvfs,
+            eer_info=eer_info,
+            payload=payload,
+            hop_index=hop_index,
+        )
+
+    def __repr__(self) -> str:
+        kind = "EER" if self.is_eer_data else "SegR"
+        return (
+            f"ColibriPacket({kind}, res={self.res_info.reservation}, "
+            f"hop={self.hop_index}/{self.hop_count}, {self.total_size} B)"
+        )

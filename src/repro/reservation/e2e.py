@@ -1,0 +1,123 @@
+"""End-to-end-reservation state (§3.3, §4.2).
+
+EERs are short-term host-to-host reservations with a fixed validity
+period (16 s).  Unlike SegRs, "multiple versions of the same EER [can]
+exist simultaneously" so renewals are seamless; versions expire on their
+own and "there is no mechanism to remove them earlier".
+
+Using several versions at once gains nothing: the traffic monitor maps
+all versions to the same reservation ID, so a sender "can obtain at most
+the maximum bandwidth of all valid versions but not more" (§4.8).  That
+maximum is :meth:`E2EReservation.effective_bandwidth`, the number both
+EER admission accounting and monitoring use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import VersionError
+from repro.reservation.ids import ReservationId
+
+if TYPE_CHECKING:  # avoid a packets <-> reservation import cycle
+    from repro.packets.fields import EerInfo
+
+
+@dataclass
+class E2EVersion:
+    """One version of an EER; expires on its own, never removed early."""
+
+    version: int
+    bandwidth: float  # bits per second
+    expiry: float  # absolute seconds
+
+    def is_live(self, now: float) -> bool:
+        return now < self.expiry
+
+
+class E2EReservation:
+    """An EER as stored by an on-path AS or the source gateway."""
+
+    def __init__(
+        self,
+        reservation_id: ReservationId,
+        eer_info: EerInfo,
+        hops: tuple,
+        segment_ids: tuple,
+        first_version: E2EVersion,
+    ):
+        self.reservation_id = reservation_id
+        self.eer_info = eer_info
+        self.hops = hops  # tuple[HopField], the full end-to-end path
+        self.segment_ids = segment_ids  # the 1-3 SegRs the EER rides on
+        self._versions: dict[int, E2EVersion] = {first_version.version: first_version}
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def versions(self) -> dict:
+        return dict(self._versions)
+
+    def live_versions(self, now: float) -> list:
+        return [v for v in self._versions.values() if v.is_live(now)]
+
+    def latest_version(self) -> E2EVersion:
+        """The highest-numbered version — what the gateway stamps packets
+        with ("the gateway generally uses a single version (the latest
+        one) to send traffic", §4.2)."""
+        return self._versions[max(self._versions)]
+
+    def latest_live_version(self, now: float):
+        """The highest-numbered unexpired version, or ``None``."""
+        live = self.live_versions(now)
+        return max(live, key=lambda v: v.version) if live else None
+
+    def effective_bandwidth(self, now: float) -> float:
+        """Max bandwidth over all live versions — the monitored budget (§4.8)."""
+        live = self.live_versions(now)
+        return max((v.bandwidth for v in live), default=0.0)
+
+    def is_expired(self, now: float) -> bool:
+        return not self.live_versions(now)
+
+    @property
+    def expiry(self) -> float:
+        """Latest expiry across versions (when the EER record can be GC'd)."""
+        return max(v.expiry for v in self._versions.values())
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def add_version(self, version: E2EVersion) -> None:
+        """Record a renewal's version; coexists with older ones (§4.2)."""
+        if version.version in self._versions:
+            raise VersionError(
+                f"EER {self.reservation_id} already has version {version.version}"
+            )
+        if version.version <= max(self._versions):
+            raise VersionError(
+                f"new version {version.version} must exceed existing versions "
+                f"(max {max(self._versions)})"
+            )
+        self._versions[version.version] = version
+
+    def prune(self, now: float) -> int:
+        """Drop expired versions (keep at least the newest for bookkeeping)."""
+        newest = max(self._versions)
+        stale = [
+            number
+            for number, version in self._versions.items()
+            if number != newest and not version.is_live(now)
+        ]
+        for number in stale:
+            del self._versions[number]
+        return len(stale)
+
+    def next_version_number(self) -> int:
+        return max(self._versions) + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"E2EReservation({self.reservation_id}, "
+            f"versions={sorted(self._versions)}, segments={len(self.segment_ids)})"
+        )

@@ -1,0 +1,122 @@
+"""Memoized per-interface aggregates for SegR admission (§4.7, Fig. 3).
+
+The SegR admission at a transit AS "needs to look up all existing SegRs
+that use the same egress interface", yet the paper reports constant-time
+admission thanks to "memoization techniques".  This index is that
+technique: it maintains, incrementally on every SegR add/remove/resize,
+
+* ``ingress_demand[i]``   — total capped demand entering interface *i*
+  (input to demand-adjustment rule 1);
+* ``source_demand[(S,e)]``— total capped demand of source AS *S* leaving
+  via *e* (input to rule 3);
+* ``egress_adjusted[e]``  — total *adjusted* demand leaving via *e*
+  (the denominator of the proportional share).
+
+With these sums, admitting one more SegR touches a handful of dict
+entries regardless of how many reservations exist — the flat lines of
+Fig. 3.  The naive alternative (recompute the sums by iterating every
+stored SegR) is kept as :meth:`recompute_from` for the memoization
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.reservation.ids import ReservationId
+from repro.topology.addresses import IsdAs
+
+
+@dataclass(frozen=True)
+class IndexedDemand:
+    """What the index remembers about one admitted SegR."""
+
+    reservation_id: ReservationId
+    source: IsdAs
+    ingress: int
+    egress: int
+    capped_demand: float  # after rules 1-2 per-reservation caps
+    adjusted_demand: float  # after all adjustment rules
+    granted: float = 0.0  # bandwidth actually committed to this SegR
+
+
+class InterfacePairIndex:
+    """Incrementally maintained admission aggregates for one AS."""
+
+    def __init__(self):
+        self._entries: dict[ReservationId, IndexedDemand] = {}
+        self._ingress_demand: dict[int, float] = defaultdict(float)
+        self._source_demand: dict[tuple, float] = defaultdict(float)
+        self._egress_adjusted: dict[int, float] = defaultdict(float)
+        self._egress_granted: dict[int, float] = defaultdict(float)
+
+    # -- reads (all O(1)) ---------------------------------------------------------
+
+    def ingress_demand(self, ingress: int) -> float:
+        return self._ingress_demand.get(ingress, 0.0)
+
+    def source_demand(self, source: IsdAs, egress: int) -> float:
+        return self._source_demand.get((source, egress), 0.0)
+
+    def egress_adjusted(self, egress: int) -> float:
+        return self._egress_adjusted.get(egress, 0.0)
+
+    def egress_granted(self, egress: int) -> float:
+        """Sum of committed grants at an egress — bounds new grants so the
+        §5.1 invariant (reservations never exceed capacity) always holds."""
+        return self._egress_granted.get(egress, 0.0)
+
+    def entry(self, reservation_id: ReservationId) -> IndexedDemand:
+        return self._entries[reservation_id]
+
+    def __contains__(self, reservation_id: ReservationId) -> bool:
+        return reservation_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- writes -------------------------------------------------------------------
+
+    def add(self, demand: IndexedDemand) -> None:
+        if demand.reservation_id in self._entries:
+            self.remove(demand.reservation_id)
+        self._entries[demand.reservation_id] = demand
+        self._ingress_demand[demand.ingress] += demand.capped_demand
+        self._source_demand[(demand.source, demand.egress)] += demand.capped_demand
+        self._egress_adjusted[demand.egress] += demand.adjusted_demand
+        self._egress_granted[demand.egress] += demand.granted
+
+    def remove(self, reservation_id: ReservationId) -> None:
+        demand = self._entries.pop(reservation_id, None)
+        if demand is None:
+            return
+        self._ingress_demand[demand.ingress] -= demand.capped_demand
+        self._source_demand[(demand.source, demand.egress)] -= demand.capped_demand
+        self._egress_adjusted[demand.egress] -= demand.adjusted_demand
+        self._egress_granted[demand.egress] -= demand.granted
+        # Clamp float drift so long-running services never go negative.
+        for mapping, key in (
+            (self._ingress_demand, demand.ingress),
+            (self._source_demand, (demand.source, demand.egress)),
+            (self._egress_adjusted, demand.egress),
+            (self._egress_granted, demand.egress),
+        ):
+            if mapping[key] < 1e-9:
+                mapping[key] = 0.0
+
+    # -- ablation support ------------------------------------------------------------
+
+    def recompute_from(self, entries) -> None:
+        """Rebuild all sums by full iteration — the *naive* O(n) variant.
+
+        Used by the memoization-ablation bench to show what Fig. 3 would
+        look like without incremental maintenance.
+        """
+        self._entries.clear()
+        self._ingress_demand.clear()
+        self._source_demand.clear()
+        self._egress_adjusted.clear()
+        self._egress_granted.clear()
+        for demand in entries:
+            self.add(demand)

@@ -1,0 +1,34 @@
+"""Simulation substrate: event loop, network assembly, traffic generation."""
+
+from repro.sim.events import Event, EventLoop
+from repro.sim.netsim import AtHop, LinkSim, PortSim
+from repro.sim.pipeline import HopPort, LatencyReport, PathPipeline
+from repro.sim.scenario import ColibriNetwork
+from repro.sim.tracing import PacketTracer, TraceEvent
+from repro.sim.workload import EerWorkload, WorkloadStats
+from repro.sim.traffic import (
+    BestEffortSource,
+    BogusColibriSource,
+    OverusingSource,
+    ReservationSource,
+)
+
+__all__ = [
+    "EventLoop",
+    "Event",
+    "ColibriNetwork",
+    "LinkSim",
+    "PortSim",
+    "AtHop",
+    "PathPipeline",
+    "HopPort",
+    "LatencyReport",
+    "BestEffortSource",
+    "BogusColibriSource",
+    "OverusingSource",
+    "ReservationSource",
+    "EerWorkload",
+    "WorkloadStats",
+    "PacketTracer",
+    "TraceEvent",
+]

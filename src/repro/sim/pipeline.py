@@ -1,0 +1,142 @@
+"""Multi-hop latency simulation (§9, "Low Overhead").
+
+"Protecting performance-sensitive (e.g., low-latency) traffic is one of
+the main benefits of bandwidth reservation systems.  However, if a
+system's overhead creates similar or worse effects as congestion, as in
+many past proposals, this benefit is negated."
+
+:class:`PathPipeline` quantifies that benefit end to end: a packet walks
+every on-path border router and then queues at each hop's output port
+(strict-priority classes over :class:`~repro.dataplane.queueing`
+semantics), while best-effort cross-traffic loads the same ports.  The
+observable is per-packet **end-to-end latency**: Colibri EER packets see
+only serialization + propagation, while best-effort packets see the
+congestion backlog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dataplane.queueing import TrafficClass
+from repro.dataplane.router import Verdict
+from repro.errors import ColibriError
+from repro.sim.scenario import ColibriNetwork
+from repro.topology.addresses import IsdAs
+
+
+@dataclass
+class HopPort:
+    """One hop's output port as a fluid priority queue.
+
+    Tracks per-class backlog in bytes; arrivals join their class, and
+    the virtual service process drains strictly by priority.  A packet's
+    queueing delay is the time to serve everything ahead of it.
+    """
+
+    capacity: float  # bits per second
+    propagation: float = 0.001  # seconds
+    backlog: dict = field(
+        default_factory=lambda: {cls: 0.0 for cls in TrafficClass}
+    )
+    _last_drain: float = 0.0
+
+    def _drain_to(self, now: float) -> None:
+        budget = max(0.0, (now - self._last_drain)) * self.capacity / 8
+        self._last_drain = now
+        for traffic_class in TrafficClass:  # priority order
+            take = min(budget, self.backlog[traffic_class])
+            self.backlog[traffic_class] -= take
+            budget -= take
+            if budget <= 0:
+                break
+
+    def offer_cross_traffic(self, size_bytes: float, traffic_class: TrafficClass, now: float) -> None:
+        """Background load joining the queue (not individually tracked)."""
+        self._drain_to(now)
+        self.backlog[traffic_class] += size_bytes
+
+    def transit_delay(self, size_bytes: int, traffic_class: TrafficClass, now: float) -> float:
+        """Delay a tracked packet experiences crossing this hop now.
+
+        Queueing (everything at equal-or-higher priority ahead of it) +
+        its own serialization + propagation.  The packet's bytes join the
+        backlog so later packets queue behind it.
+        """
+        self._drain_to(now)
+        ahead = sum(
+            self.backlog[cls] for cls in TrafficClass if cls <= traffic_class
+        )
+        self.backlog[traffic_class] += size_bytes
+        return (ahead + size_bytes) * 8 / self.capacity + self.propagation
+
+
+@dataclass
+class LatencyReport:
+    delivered: bool
+    latency: float  # seconds, end to end
+    per_hop: list  # [(IsdAs, seconds)]
+    dropped_at: Optional[IsdAs] = None
+
+
+class PathPipeline:
+    """End-to-end latency of packets along an EER's path."""
+
+    def __init__(
+        self,
+        network: ColibriNetwork,
+        handle,
+        capacity: float,
+        propagation: float = 0.001,
+    ):
+        self.network = network
+        self.handle = handle
+        self.ports = {
+            hop.isd_as: HopPort(capacity=capacity, propagation=propagation)
+            for hop in handle.hops
+        }
+
+    def load_cross_traffic(self, rate: float, duration: float, ases=None) -> None:
+        """Pour best-effort volume into (a subset of) the hop ports."""
+        targets = ases if ases is not None else list(self.ports)
+        for isd_as in targets:
+            self.ports[isd_as].offer_cross_traffic(
+                rate * duration / 8,
+                TrafficClass.BEST_EFFORT,
+                self.network.clock.now(),
+            )
+
+    def send(self, payload: bytes, traffic_class: TrafficClass = TrafficClass.EER_DATA) -> LatencyReport:
+        """One packet through routers + queues, accumulating latency.
+
+        ``traffic_class`` overrides let the ablation push the same packet
+        through the best-effort queues (no isolation).
+        """
+        gateway = self.network.gateway(self.handle.hops[0].isd_as)
+        packet = gateway.send(self.handle.reservation_id, payload)
+        now = self.network.clock.now()
+        latency = 0.0
+        per_hop = []
+        while True:
+            isd_as = self.handle.hops[packet.hop_index].isd_as
+            router = self.network.router(isd_as)
+            result = router.process(packet)
+            if result.verdict.is_drop:
+                return LatencyReport(
+                    delivered=False,
+                    latency=latency,
+                    per_hop=per_hop,
+                    dropped_at=isd_as,
+                )
+            hop_delay = self.ports[isd_as].transit_delay(
+                packet.total_size, traffic_class, now + latency
+            )
+            latency += hop_delay
+            per_hop.append((isd_as, hop_delay))
+            if result.verdict in (Verdict.DELIVER_HOST, Verdict.DELIVER_CSERV):
+                return LatencyReport(
+                    delivered=True, latency=latency, per_hop=per_hop
+                )
+            if result.verdict is not Verdict.FORWARD:
+                raise ColibriError(f"unexpected verdict {result.verdict}")

@@ -1,0 +1,96 @@
+"""Packet tracing: a tcpdump-style record of data-plane decisions.
+
+Attach a :class:`PacketTracer` to a :class:`~repro.sim.scenario.ColibriNetwork`
+and every router decision is recorded with the simulated timestamp, the
+AS, the verdict, and the packet identity — the forensic view an operator
+(or a debugging session) needs when a reservation misbehaves.
+
+The tracer is pull-based and zero-cost when absent: `ColibriNetwork.forward`
+calls ``tracer.record`` only if a tracer is installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dataplane.router import Verdict
+from repro.packets.colibri import ColibriPacket
+from repro.reservation.ids import ReservationId
+from repro.topology.addresses import IsdAs
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One router decision about one packet."""
+
+    when: float
+    isd_as: IsdAs
+    verdict: Verdict
+    reservation: ReservationId
+    timestamp_id: bytes  # the packet's unique Ts bytes
+    size: int
+
+    def render(self) -> str:
+        mark = "x" if self.verdict.is_drop else "."
+        return (
+            f"{self.when:12.6f} {mark} {str(self.isd_as):>14} "
+            f"{self.verdict.value:<14} res={self.reservation} {self.size}B"
+        )
+
+
+class PacketTracer:
+    """Bounded in-memory trace of router decisions."""
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity <= 0:
+            raise ValueError(f"trace capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: list = []
+        self.dropped_events = 0  # trace overflow, not packet drops
+
+    def record(self, when: float, isd_as: IsdAs, verdict: Verdict, packet: ColibriPacket) -> None:
+        if len(self._events) >= self.capacity:
+            self.dropped_events += 1
+            return
+        self._events.append(
+            TraceEvent(
+                when=when,
+                isd_as=isd_as,
+                verdict=verdict,
+                reservation=packet.res_info.reservation,
+                timestamp_id=packet.timestamp.packed,
+                size=packet.total_size,
+            )
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    def events(self) -> list:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def for_reservation(self, reservation: ReservationId) -> list:
+        return [e for e in self._events if e.reservation == reservation]
+
+    def drops(self) -> list:
+        return [e for e in self._events if e.verdict.is_drop]
+
+    def packet_journey(self, reservation: ReservationId, timestamp_id: bytes) -> list:
+        """Every hop decision for one specific packet, in order."""
+        return [
+            e
+            for e in self._events
+            if e.reservation == reservation and e.timestamp_id == timestamp_id
+        ]
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """A human-readable timeline (most recent last)."""
+        events = self._events if limit is None else self._events[-limit:]
+        return "\n".join(event.render() for event in events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped_events = 0

@@ -1,0 +1,236 @@
+"""Synthetic topology generators.
+
+The paper evaluates on commodity hardware with synthetic workloads; the
+reproduction needs topologies of controlled shape.  Four generators cover
+the spectrum:
+
+* :func:`build_line_topology` — a chain of core ASes, the minimal shape
+  for admission and forwarding benches with exact path lengths (Figs. 3-6
+  sweep path length and reservation counts on such chains);
+* :func:`build_core_mesh` — fully meshed core, for path-choice tests;
+* :func:`build_two_isd_topology` — the canonical integration fixture: two
+  ISDs, trees of non-core ASes, matching Fig. 1's S - X - Y - Z shape;
+* :func:`build_internet_like` — a parameterized hierarchy (many ISDs,
+  several cores each, branching customer trees) for scalability tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.topology.addresses import IsdAs
+from repro.topology.graph import LinkType, Topology
+from repro.util.units import gbps
+
+DEFAULT_CAPACITY = gbps(40.0)
+
+
+def _as_id(isd: int, index: int) -> IsdAs:
+    """Deterministic AS numbering: readable and unique per generator call."""
+    return IsdAs(isd=isd, asn=0xFF00_0000_0000 + index)
+
+
+def build_line_topology(
+    length: int, capacity: float = DEFAULT_CAPACITY, isd: int = 1
+) -> Topology:
+    """A chain of ``length`` core ASes joined by core links.
+
+    Every AS pair at distance d has exactly one d-hop core-segment, which
+    makes expected admission state and path lengths trivially computable
+    in benchmarks.
+    """
+    if length < 1:
+        raise ValueError(f"line topology needs at least 1 AS, got {length}")
+    topology = Topology()
+    previous = None
+    for index in range(length):
+        isd_as = _as_id(isd, index + 1)
+        topology.add_as(isd_as, is_core=True)
+        if previous is not None:
+            topology.add_link(previous, isd_as, LinkType.CORE, capacity)
+        previous = isd_as
+    return topology
+
+
+def build_core_mesh(size: int, capacity: float = DEFAULT_CAPACITY, isd: int = 1) -> Topology:
+    """``size`` core ASes, fully meshed: maximal path choice."""
+    if size < 1:
+        raise ValueError(f"core mesh needs at least 1 AS, got {size}")
+    topology = Topology()
+    ases = []
+    for index in range(size):
+        isd_as = _as_id(isd, index + 1)
+        topology.add_as(isd_as, is_core=True)
+        ases.append(isd_as)
+    for i, a in enumerate(ases):
+        for b in ases[i + 1 :]:
+            topology.add_link(a, b, LinkType.CORE, capacity)
+    return topology
+
+
+def build_two_isd_topology(capacity: float = DEFAULT_CAPACITY) -> Topology:
+    """Two ISDs with one core AS each and two levels of customers.
+
+    Shape (parent-child edges point down)::
+
+        ISD 1:        core1 ---------- core2        :ISD 2
+                      /   \\              /  \\
+                   as11   as12        as21  as22
+                    /       \\          /
+                 as111     as121     as211
+
+    Hosts in ``as111`` talking to ``as211`` exercise the full
+    up + core + down combination with a transfer AS at each core; pairs
+    under one core exercise shortcuts.
+    """
+    topology = Topology()
+    core1 = _as_id(1, 1)
+    core2 = _as_id(2, 1)
+    topology.add_as(core1, is_core=True)
+    topology.add_as(core2, is_core=True)
+    topology.add_link(core1, core2, LinkType.CORE, capacity)
+
+    def grow(isd: int, core: IsdAs, children: int, grandchildren: list) -> list:
+        added = []
+        for child_index in range(children):
+            child = _as_id(isd, 10 + child_index + 1)
+            topology.add_as(child, is_core=False)
+            topology.add_link(core, child, LinkType.PARENT_CHILD, capacity)
+            added.append(child)
+            for grand_index in range(grandchildren[child_index]):
+                grand = _as_id(isd, 100 + child_index * 10 + grand_index + 1)
+                topology.add_as(grand, is_core=False)
+                topology.add_link(child, grand, LinkType.PARENT_CHILD, capacity)
+                added.append(grand)
+        return added
+
+    grow(1, core1, 2, [1, 1])
+    grow(2, core2, 2, [1, 0])
+    return topology
+
+
+def build_power_law(
+    as_count: int = 300,
+    isd_count: int = 5,
+    cores_per_isd: int = 3,
+    capacity: float = DEFAULT_CAPACITY,
+    seed: int = 13,
+) -> Topology:
+    """A power-law-ish AS hierarchy via preferential attachment.
+
+    The real Internet's AS graph is heavy-tailed: a few providers serve
+    very many customers.  Inside each ISD, non-core ASes attach to an
+    existing AS chosen with probability proportional to its current
+    customer count (+1) — the classic Barabási-Albert process projected
+    onto a provider tree, so SCION's segment structure stays intact.
+    Cores are fully meshed inside an ISD and ring-connected across ISDs.
+
+    Used by the scalability tests: hundreds of ASes with realistic
+    degree skew, still fast to beacon.
+    """
+    if as_count < isd_count * cores_per_isd:
+        raise ValueError(
+            f"need at least {isd_count * cores_per_isd} ASes for "
+            f"{isd_count} ISDs x {cores_per_isd} cores"
+        )
+    rng = random.Random(seed)
+    topology = Topology()
+    all_cores = []
+    per_isd = as_count // isd_count
+
+    for isd in range(1, isd_count + 1):
+        cores = []
+        for core_index in range(cores_per_isd):
+            core = _as_id(isd, core_index + 1)
+            topology.add_as(core, is_core=True)
+            cores.append(core)
+        for i, a in enumerate(cores):
+            for b in cores[i + 1 :]:
+                topology.add_link(a, b, LinkType.CORE, capacity)
+        all_cores.append(cores)
+
+        # Preferential attachment below the cores.
+        members = list(cores)  # candidates to attach to
+        child_counts = {isd_as: 1 for isd_as in members}  # +1 smoothing
+        for index in range(per_isd - cores_per_isd):
+            child = _as_id(isd, 100 + index)
+            topology.add_as(child, is_core=False)
+            weights = [child_counts[candidate] for candidate in members]
+            parent = rng.choices(members, weights=weights, k=1)[0]
+            topology.add_link(parent, child, LinkType.PARENT_CHILD, capacity)
+            child_counts[parent] += 1
+            child_counts[child] = 1
+            members.append(child)
+
+    for index in range(isd_count):
+        if isd_count > 1:
+            a = all_cores[index][0]
+            b = all_cores[(index + 1) % isd_count][0]
+            try:
+                topology.link_between(a, b)
+            except Exception:
+                topology.add_link(a, b, LinkType.CORE, capacity)
+    return topology
+
+
+def build_internet_like(
+    isd_count: int = 3,
+    cores_per_isd: int = 2,
+    children_per_node: int = 2,
+    depth: int = 2,
+    capacity: float = DEFAULT_CAPACITY,
+    seed: int = 7,
+) -> Topology:
+    """A hierarchy of ``isd_count`` ISDs with branching customer trees.
+
+    Core ASes inside an ISD are fully meshed; across ISDs a ring plus
+    random chords connects the cores, giving multiple core-segments per
+    pair.  Every non-core AS has one provider (a tree), which matches the
+    segment model (multi-homing can be added by extra ``add_link`` calls).
+    """
+    if isd_count < 1 or cores_per_isd < 1:
+        raise ValueError("need at least one ISD and one core AS per ISD")
+    rng = random.Random(seed)
+    topology = Topology()
+    all_cores = []
+
+    for isd in range(1, isd_count + 1):
+        cores = []
+        for core_index in range(cores_per_isd):
+            core = _as_id(isd, core_index + 1)
+            topology.add_as(core, is_core=True)
+            cores.append(core)
+        for i, a in enumerate(cores):
+            for b in cores[i + 1 :]:
+                topology.add_link(a, b, LinkType.CORE, capacity)
+        all_cores.append(cores)
+
+        next_id = 100
+        frontier = list(cores)
+        for _level in range(depth):
+            new_frontier = []
+            for parent in frontier:
+                for _child in range(children_per_node):
+                    child = _as_id(isd, next_id)
+                    next_id += 1
+                    topology.add_as(child, is_core=False)
+                    topology.add_link(parent, child, LinkType.PARENT_CHILD, capacity)
+                    new_frontier.append(child)
+            frontier = new_frontier
+
+    # Inter-ISD core connectivity: ring over the first core of each ISD,
+    # then random chords between remaining cores for path diversity.
+    for index in range(isd_count):
+        a = all_cores[index][0]
+        b = all_cores[(index + 1) % isd_count][0]
+        if index != (index + 1) % isd_count:
+            topology.add_link(a, b, LinkType.CORE, capacity)
+    flattened = [core for cores in all_cores for core in cores]
+    extra_chords = max(0, isd_count - 2)
+    for _ in range(extra_chords):
+        a, b = rng.sample(flattened, 2)
+        try:
+            topology.link_between(a, b)
+        except Exception:
+            topology.add_link(a, b, LinkType.CORE, capacity)
+    return topology

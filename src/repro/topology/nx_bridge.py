@@ -1,0 +1,100 @@
+"""NetworkX interoperability.
+
+Research topologies (CAIDA-derived graphs, synthetic models, hand-drawn
+scenarios) usually live as :mod:`networkx` graphs.  This bridge converts
+them to and from :class:`~repro.topology.graph.Topology` so any such
+graph can run Colibri:
+
+* nodes need ``isd`` (int) and ``core`` (bool) attributes — or a
+  classifier callable supplies them;
+* edges may carry ``capacity`` (bps, defaulting to 40 Gbps Colibri-style)
+  and are typed automatically: core↔core links become CORE; otherwise
+  the core (or lower-``level``) endpoint becomes the parent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.topology.addresses import IsdAs
+from repro.topology.graph import LinkType, Topology
+from repro.util.units import gbps
+
+DEFAULT_CAPACITY = gbps(40.0)
+
+
+def from_networkx(
+    graph: "nx.Graph",
+    classify: Optional[Callable] = None,
+    default_capacity: float = DEFAULT_CAPACITY,
+) -> Topology:
+    """Build a Colibri topology from a NetworkX graph.
+
+    ``classify(node, attrs) -> (isd, is_core)`` overrides node
+    attributes; without it, each node must carry ``isd`` and ``core``.
+    Node identity becomes the AS number (hashed into the 48-bit space
+    when not already an int), so reproducible graphs map reproducibly.
+    """
+    topology = Topology()
+    mapping = {}
+    for node, attrs in graph.nodes(data=True):
+        if classify is not None:
+            isd, is_core = classify(node, attrs)
+        else:
+            try:
+                isd, is_core = attrs["isd"], attrs["core"]
+            except KeyError as missing:
+                raise TopologyError(
+                    f"node {node!r} lacks attribute {missing}; provide "
+                    "'isd' and 'core' or pass a classifier"
+                ) from missing
+        if isinstance(node, int) and 0 <= node < (1 << 48):
+            asn = node
+        else:
+            asn = hash(str(node)) & ((1 << 48) - 1)
+        isd_as = IsdAs(isd=isd, asn=asn)
+        mapping[node] = isd_as
+        topology.add_as(isd_as, is_core=bool(is_core))
+
+    for a, b, attrs in graph.edges(data=True):
+        as_a, as_b = mapping[a], mapping[b]
+        node_a, node_b = topology.node(as_a), topology.node(as_b)
+        capacity = attrs.get("capacity", default_capacity)
+        if node_a.is_core and node_b.is_core:
+            topology.add_link(as_a, as_b, LinkType.CORE, capacity)
+        elif node_a.is_core:
+            topology.add_link(as_a, as_b, LinkType.PARENT_CHILD, capacity)
+        elif node_b.is_core:
+            topology.add_link(as_b, as_a, LinkType.PARENT_CHILD, capacity)
+        else:
+            # Neither is core: the 'level' attribute (smaller = closer to
+            # the core) or insertion order decides the provider.
+            level_a = graph.nodes[a].get("level")
+            level_b = graph.nodes[b].get("level")
+            if level_a is not None and level_b is not None and level_a != level_b:
+                parent, child = (as_a, as_b) if level_a < level_b else (as_b, as_a)
+            else:
+                parent, child = as_a, as_b
+            topology.add_link(parent, child, LinkType.PARENT_CHILD, capacity)
+    return topology
+
+
+def to_networkx(topology: Topology) -> "nx.Graph":
+    """Export a topology as a NetworkX graph (inverse of
+    :func:`from_networkx` up to node naming)."""
+    graph = nx.Graph()
+    for node in topology.ases():
+        graph.add_node(
+            str(node.isd_as), isd=node.isd, core=node.is_core
+        )
+    for link in topology.links():
+        graph.add_edge(
+            str(link.a.owner),
+            str(link.b.owner),
+            capacity=link.capacity,
+            type=link.link_type.value,
+        )
+    return graph

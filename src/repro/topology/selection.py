@@ -1,0 +1,83 @@
+"""Path selection policies (§2.1's "fine-grained routing optimization").
+
+Path-aware networking hands the choice among candidate paths to the
+endpoints.  This module provides the selection strategies a Colibri
+deployment actually needs:
+
+* :func:`shortest_first` — the default latency proxy;
+* :func:`max_capacity_first` — prefer paths whose bottleneck link is
+  widest (reservation-friendly ordering);
+* :func:`most_disjoint` — greedy maximal AS-disjointness, the right
+  input for multipath EERs (§2.1: "multiple reservations across
+  multiple paths"): subflows that share no transit AS share no fate;
+* :func:`path_capacity` / :func:`disjointness` — the underlying metrics.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import NO_INTERFACE, Topology
+from repro.topology.paths import EndToEndPath
+
+
+def path_capacity(topology: Topology, path: EndToEndPath) -> float:
+    """The bottleneck link capacity along a path (bits per second)."""
+    capacity = float("inf")
+    for hop in path.hops:
+        if hop.egress == NO_INTERFACE:
+            continue
+        link = topology.node(hop.isd_as).link_on(hop.egress)
+        capacity = min(capacity, link.capacity)
+    return capacity
+
+
+def disjointness(a: EndToEndPath, b: EndToEndPath) -> float:
+    """Fraction of *transit* ASes of ``a`` not shared with ``b``.
+
+    Endpoints are excluded: every path shares the source and destination
+    AS by construction, so only the middle matters for fate sharing.
+    """
+    middle_a = set(a.ases[1:-1])
+    middle_b = set(b.ases[1:-1])
+    if not middle_a:
+        return 1.0  # a direct path shares no transit with anything
+    return len(middle_a - middle_b) / len(middle_a)
+
+
+def shortest_first(paths: list) -> list:
+    """Sort candidate paths by hop count (stable)."""
+    return sorted(paths, key=len)
+
+
+def max_capacity_first(topology: Topology, paths: list) -> list:
+    """Sort by bottleneck capacity, widest first; hop count breaks ties."""
+    return sorted(
+        paths, key=lambda path: (-path_capacity(topology, path), len(path))
+    )
+
+
+def most_disjoint(paths: list, count: int) -> list:
+    """Greedy selection of up to ``count`` mutually disjoint paths.
+
+    Starts from the shortest path, then repeatedly adds the candidate
+    with the highest minimum disjointness against everything selected so
+    far (ties broken by hop count).  The classic greedy gives no global
+    optimality guarantee but is exactly what a host-side daemon can
+    afford per connection setup.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if not paths:
+        return []
+    remaining = shortest_first(paths)
+    selected = [remaining.pop(0)]
+    while remaining and len(selected) < count:
+        best = max(
+            remaining,
+            key=lambda candidate: (
+                min(disjointness(candidate, chosen) for chosen in selected),
+                -len(candidate),
+            ),
+        )
+        remaining.remove(best)
+        selected.append(best)
+    return selected

@@ -1,0 +1,73 @@
+"""Topology serialization: share one AS-graph definition across tools.
+
+Real deployments describe their topology in files (SCION's
+``topology.json`` is the model here); this module round-trips the
+:class:`~repro.topology.graph.Topology` through a JSON-compatible dict
+so experiments, operator tooling and tests can pin exact graphs,
+interface numbering included.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ColibriError
+from repro.topology.addresses import IsdAs
+from repro.topology.graph import LinkType, Topology
+
+FORMAT_VERSION = 1
+
+
+def dump_topology(topology: Topology) -> dict:
+    """Serialize a topology to a JSON-compatible dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "ases": [
+            {"isd_as": str(node.isd_as), "core": node.is_core}
+            for node in topology.ases()
+        ],
+        "links": [
+            {
+                "a": str(link.a.owner),
+                "a_ifid": link.a.ifid,
+                "b": str(link.b.owner),
+                "b_ifid": link.b.ifid,
+                "type": link.link_type.value,
+                "capacity": link.capacity,
+            }
+            for link in topology.links()
+        ],
+    }
+
+
+def dumps_topology(topology: Topology) -> str:
+    return json.dumps(dump_topology(topology), sort_keys=True)
+
+
+def load_topology(data: dict) -> Topology:
+    """Reconstruct a topology from :func:`dump_topology` output.
+
+    Interface IDs are restored exactly, so paths and segments computed
+    against the original graph remain valid against the copy.
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise ColibriError(
+            f"unsupported topology format {data.get('format')!r}"
+        )
+    topology = Topology()
+    for entry in data["ases"]:
+        topology.add_as(IsdAs.parse(entry["isd_as"]), is_core=entry["core"])
+    for entry in data["links"]:
+        topology.add_link(
+            IsdAs.parse(entry["a"]),
+            IsdAs.parse(entry["b"]),
+            LinkType(entry["type"]),
+            capacity=entry["capacity"],
+            ifid_a=entry["a_ifid"],
+            ifid_b=entry["b_ifid"],
+        )
+    return topology
+
+
+def loads_topology(text: str) -> Topology:
+    return load_topology(json.loads(text))

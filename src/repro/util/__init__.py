@@ -1,0 +1,32 @@
+"""Utility substrates: clocks, bandwidth units, ID sequences."""
+
+from repro.util.clock import Clock, SimClock, SkewedClock, WallClock
+from repro.util.sequence import SequenceAllocator
+from repro.util.units import (
+    GBPS,
+    KBPS,
+    MBPS,
+    bits_to_bytes,
+    bytes_to_bits,
+    format_bandwidth,
+    gbps,
+    kbps,
+    mbps,
+)
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "SkewedClock",
+    "WallClock",
+    "SequenceAllocator",
+    "GBPS",
+    "MBPS",
+    "KBPS",
+    "gbps",
+    "mbps",
+    "kbps",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "format_bandwidth",
+]

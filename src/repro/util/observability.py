@@ -1,0 +1,54 @@
+"""Prometheus-style metrics rendering for the management plane.
+
+Converts a :meth:`~repro.sim.scenario.ColibriNetwork.telemetry` snapshot
+into the text exposition format every monitoring stack ingests, so a
+deployment scrapes the same counters the tests assert on.
+"""
+
+from __future__ import annotations
+
+_HELP = {
+    "segments": "Segment reservations stored at the AS",
+    "eers": "End-to-end reservations stored at the AS",
+    "seg_decisions": "SegR admission decisions taken",
+    "eer_decisions": "EER admission decisions taken",
+    "gateway_sent": "Packets stamped and sent by the gateway",
+    "gateway_dropped": "Packets dropped at the gateway (monitoring/expiry)",
+    "router_drops": "Packets dropped by the border router",
+    "router_forwarded": "Packets forwarded or delivered by the border router",
+    "blocked_sources": "Source ASes currently on the policing blocklist",
+    "offenses": "Confirmed overuse offenses reported to the CServ",
+}
+
+_PREFIX = "colibri"
+
+
+def render_metrics(telemetry: dict) -> str:
+    """Render a telemetry snapshot as Prometheus exposition text.
+
+    Per-AS values become labelled samples; the ``total`` entry becomes
+    the unlabelled aggregate.  Unknown keys are exported verbatim with a
+    generic HELP line so extensions flow through automatically.
+    """
+    lines = []
+    names = sorted(
+        {
+            key
+            for entry in telemetry.values()
+            for key in (entry if isinstance(entry, dict) else {})
+        }
+    )
+    for name in names:
+        metric = f"{_PREFIX}_{name}"
+        help_text = _HELP.get(name, f"Colibri counter {name}")
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} gauge")
+        for entity, entry in sorted(telemetry.items()):
+            if not isinstance(entry, dict) or name not in entry:
+                continue
+            value = entry[name]
+            if entity == "total":
+                lines.append(f"{metric} {value}")
+            else:
+                lines.append(f'{metric}{{isd_as="{entity}"}} {value}')
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,55 @@
+"""Tests for the demo CLI (`python -m repro`)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_demo_runs_and_delivers(self, capsys):
+        assert main(["demo", "--packets", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "deployed Colibri on 9 ASes" in out
+        assert out.count("delivered") == 2
+
+    def test_demo_bandwidth_option(self, capsys):
+        assert main(["demo", "--packets", "1", "--bandwidth", "5"]) == 0
+        assert "5.000 Mbps" in capsys.readouterr().out
+
+    def test_attack_replay_defended(self, capsys):
+        assert main(["attack", "replay", "--intensity", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed 50" in out  # 5 captured x 10 copies
+        assert "victim framed: False" in out
+
+    def test_attack_spoofing_defended(self, capsys):
+        assert main(["attack", "spoofing", "--intensity", "25"]) == 0
+        assert "rejected 25" in capsys.readouterr().out
+
+    def test_topology_two_isd(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "9 ASes" in out
+        assert "core" in out
+
+    def test_topology_internet(self, capsys):
+        assert main(["topology", "--shape", "internet", "--isds", "2"]) == 0
+        assert "2 ISDs" in capsys.readouterr().out
+
+    def test_telemetry_emits_json(self, capsys):
+        assert main(["telemetry", "--packets", "3"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["total"]["gateway_sent"] == 3
+        assert snapshot["total"]["router_drops"] == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["no-such-command"])
+
+    def test_telemetry_prometheus_format(self, capsys):
+        assert main(["telemetry", "--packets", "2", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE colibri_gateway_sent gauge" in out
+        assert "colibri_gateway_sent 2" in out

@@ -1,0 +1,184 @@
+"""End-to-end integration on larger, internet-like topologies, plus
+cross-cutting scenarios: clock skew, many concurrent reservations,
+expiry churn, and telemetry consistency."""
+
+import pytest
+
+from repro.constants import EER_LIFETIME, MAX_CLOCK_SKEW
+from repro.errors import InsufficientBandwidth
+from repro.sim import ColibriNetwork
+from repro.topology import Beaconing, IsdAs, build_internet_like
+from repro.topology.addresses import HostAddr
+from repro.util.units import gbps, mbps
+
+
+@pytest.fixture(scope="module")
+def big_net():
+    """3 ISDs x 2 cores x 2-level trees = 42 ASes, with Colibri everywhere
+    and a deterministic per-AS clock skew within the paper's +-0.1 s."""
+    topology = build_internet_like(isd_count=3, cores_per_isd=2, depth=2)
+    skew = lambda isd_as: ((hash(isd_as) % 21) - 10) / 10 * MAX_CLOCK_SKEW  # noqa: E731
+    return ColibriNetwork(topology, skew=skew)
+
+
+def leaves_of(net, isd):
+    return sorted(
+        node.isd_as
+        for node in net.topology.ases()
+        if not node.is_core and node.isd == isd
+    )
+
+
+class TestInternetScaleDeployment:
+    def test_every_leaf_pair_across_isds_connects(self, big_net):
+        """Pick leaf pairs across all ISD combinations; each gets a SegR
+        chain, an EER, and delivers a packet — under clock skew."""
+        pairs = [
+            (leaves_of(big_net, 1)[0], leaves_of(big_net, 2)[0]),
+            (leaves_of(big_net, 2)[1], leaves_of(big_net, 3)[0]),
+            (leaves_of(big_net, 3)[1], leaves_of(big_net, 1)[1]),
+        ]
+        for src, dst in pairs:
+            big_net.reserve_segments(src, dst, mbps(500))
+            handle = big_net.establish_eer(src, dst, mbps(10))
+            report = big_net.send(src, handle, b"cross-isd")
+            assert report.delivered, (src, dst, report.verdicts)
+
+    def test_intra_isd_shortcut_eer(self, big_net):
+        leaves = leaves_of(big_net, 1)
+        src, dst = leaves[0], leaves[1]
+        big_net.reserve_segments(src, dst, mbps(500))
+        handle = big_net.establish_eer(src, dst, mbps(5))
+        assert big_net.send(src, handle, b"intra").delivered
+
+    def test_many_eers_share_one_chain(self, big_net):
+        src = leaves_of(big_net, 1)[2]
+        dst = leaves_of(big_net, 2)[2]
+        big_net.reserve_segments(src, dst, mbps(1000))
+        handles = [
+            big_net.establish_eer(
+                src, dst, mbps(10),
+                src_host=HostAddr(100 + i), dst_host=HostAddr(200 + i),
+            )
+            for i in range(20)
+        ]
+        assert len({h.reservation_id for h in handles}) == 20
+        for handle in handles[::4]:
+            assert big_net.send(src, handle, b"shared tube").delivered
+
+    def test_admission_eventually_refuses(self, big_net):
+        src = leaves_of(big_net, 1)[3]
+        dst = leaves_of(big_net, 2)[3]
+        big_net.reserve_segments(src, dst, mbps(100))
+        granted = 0.0
+        refused = False
+        for i in range(15):
+            try:
+                handle = big_net.establish_eer(
+                    src, dst, mbps(10),
+                    src_host=HostAddr(i), dst_host=HostAddr(i),
+                )
+                granted += handle.granted
+            except InsufficientBandwidth:
+                refused = True
+                break
+        assert refused
+        assert granted <= mbps(100) * (1 + 1e-9)
+
+    def test_telemetry_totals_consistent(self, big_net):
+        snapshot = big_net.telemetry()
+        total = snapshot["total"]
+        per_as_sum = sum(
+            entry["segments"]
+            for name, entry in snapshot.items()
+            if name != "total"
+        )
+        assert total["segments"] == per_as_sum
+        assert total["router_drops"] == 0  # nothing malicious happened here
+
+
+class TestExpiryChurn:
+    def test_reservation_lifecycle_over_many_epochs(self):
+        """EERs churn through several lifetimes; capacity is reclaimed and
+        re-admitted every round without leaks."""
+        net = ColibriNetwork(build_internet_like(isd_count=2, depth=1))
+        leaves1 = leaves_of(net, 1)
+        leaves2 = leaves_of(net, 2)
+        src, dst = leaves1[0], leaves2[0]
+        segments = net.reserve_segments(src, dst, mbps(100))
+        seg_owner = segments[0].reservation_id
+        for _round in range(5):
+            handle = net.establish_eer(src, dst, mbps(90))
+            assert net.send(src, handle, b"round").delivered
+            net.advance(EER_LIFETIME + 1)
+            net.housekeeping()
+            # renew the SegR chain so it survives the rounds
+            for segr in segments:
+                owner = net.cserv(segr.reservation_id.src_as)
+                if owner.store.has_segment(segr.reservation_id):
+                    version = owner.renew_segment(segr.reservation_id, mbps(100))
+                    owner.activate_segment(segr.reservation_id, version)
+        # After five rounds, no EERs linger and allocations are zero.
+        for stack_as in net.ases():
+            cserv = net.cserv(stack_as)
+            assert cserv.store.eer_count() == 0
+            for segr in cserv.store.segments():
+                assert cserv.store.allocated_on_segment(segr.reservation_id) == 0.0
+
+    def test_beaconing_scale(self):
+        """Beaconing on a wider topology stays complete: every non-core
+        AS reaches a core, every core pair has a segment."""
+        topology = build_internet_like(isd_count=4, cores_per_isd=2, depth=2)
+        beaconing = Beaconing(topology)
+        for node in topology.ases():
+            if not node.is_core:
+                assert beaconing.reachable_cores(node.isd_as)
+        cores = [n.isd_as for n in topology.core_ases()]
+        reachable = 0
+        for a in cores:
+            for b in cores:
+                if a != b and beaconing.core_segments(a, b):
+                    reachable += 1
+        # The core graph is connected: most ordered pairs have segments
+        # within the hop bound.
+        assert reachable >= len(cores) * (len(cores) - 1) * 0.8
+
+
+class TestClockSkewBoundary:
+    def test_within_assumed_skew_ok(self):
+        """±0.1 s (the §2.3 assumption): everything works."""
+        net = ColibriNetwork(
+            build_internet_like(isd_count=2, depth=1),
+            skew=lambda a: MAX_CLOCK_SKEW if a.isd == 1 else -MAX_CLOCK_SKEW,
+        )
+        src = leaves_of(net, 1)[0]
+        dst = leaves_of(net, 2)[0]
+        net.reserve_segments(src, dst, mbps(100))
+        handle = net.establish_eer(src, dst, mbps(5))
+        assert net.send(src, handle, b"within budget").delivered
+
+    def test_grossly_desynchronized_as_drops_packets(self):
+        """An AS violating the synchronization assumption by far more
+        than the freshness window rejects fresh packets as stale — the
+        designed failure mode, not silent acceptance."""
+        from repro.constants import FRESHNESS_WINDOW
+
+        topology = build_internet_like(isd_count=2, depth=1)
+        net_ok = ColibriNetwork(topology)
+        src = leaves_of(net_ok, 1)[0]
+        dst = leaves_of(net_ok, 2)[0]
+        broken_as = None
+        # Rebuild with one mid-path AS skewed way beyond the window.
+        net_ok.reserve_segments(src, dst, mbps(100))
+        handle = net_ok.establish_eer(src, dst, mbps(5))
+        broken_as = handle.hops[2].isd_as
+        topology2 = build_internet_like(isd_count=2, depth=1)
+        net_bad = ColibriNetwork(
+            topology2,
+            skew=lambda a: (FRESHNESS_WINDOW * 10) if a == broken_as else 0.0,
+        )
+        net_bad.reserve_segments(src, dst, mbps(100))
+        handle = net_bad.establish_eer(src, dst, mbps(5))
+        report = net_bad.send(src, handle, b"too skewed")
+        assert not report.delivered
+        assert report.dropped_at == broken_as

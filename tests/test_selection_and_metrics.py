@@ -1,0 +1,203 @@
+"""Tests for path-selection policies and the statistics helpers, plus
+the Coremelt-style collusion attack on the admission algorithm (§5.2,
+the [26]/[53] attack class §8 references)."""
+
+import pytest
+
+from repro.errors import InsufficientBandwidth
+from repro.sim import ColibriNetwork
+from repro.topology import Beaconing, IsdAs, PathLookup, build_core_mesh
+from repro.topology.selection import (
+    disjointness,
+    max_capacity_first,
+    most_disjoint,
+    path_capacity,
+    shortest_first,
+)
+from repro.util.metrics import jain_fairness, mean, percentile
+from repro.util.units import gbps, mbps
+
+BASE = 0xFF00_0000_0000
+
+
+def asid(isd, index):
+    return IsdAs(isd, BASE + index)
+
+
+@pytest.fixture
+def mesh_paths():
+    topology = build_core_mesh(5)
+    lookup = PathLookup(Beaconing(topology))
+    return topology, lookup.paths(asid(1, 1), asid(1, 3), limit=10)
+
+
+class TestSelectionPolicies:
+    def test_shortest_first(self, mesh_paths):
+        _, paths = mesh_paths
+        ordered = shortest_first(paths)
+        assert [len(p) for p in ordered] == sorted(len(p) for p in paths)
+        assert len(ordered[0]) == 2  # the direct link
+
+    def test_path_capacity_is_bottleneck(self):
+        topology = build_core_mesh(3, capacity=gbps(40))
+        # Shrink one link and verify the path through it reports it.
+        link = topology.link_between(asid(1, 1), asid(1, 2))
+        topology.remove_link(link)
+        topology.add_link(asid(1, 1), asid(1, 2), capacity=gbps(10))
+        lookup = PathLookup(Beaconing(topology))
+        paths = lookup.paths(asid(1, 1), asid(1, 2), limit=5)
+        direct = [p for p in paths if len(p) == 2][0]
+        detour = [p for p in paths if len(p) == 3][0]
+        assert path_capacity(topology, direct) == pytest.approx(gbps(10))
+        assert path_capacity(topology, detour) == pytest.approx(gbps(40))
+
+    def test_max_capacity_first_prefers_wide_detour(self):
+        topology = build_core_mesh(3, capacity=gbps(40))
+        link = topology.link_between(asid(1, 1), asid(1, 2))
+        topology.remove_link(link)
+        topology.add_link(asid(1, 1), asid(1, 2), capacity=gbps(10))
+        lookup = PathLookup(Beaconing(topology))
+        paths = lookup.paths(asid(1, 1), asid(1, 2), limit=5)
+        ordered = max_capacity_first(topology, paths)
+        assert len(ordered[0]) == 3  # the wide detour outranks the thin link
+
+    def test_disjointness_metric(self, mesh_paths):
+        _, paths = mesh_paths
+        direct = [p for p in paths if len(p) == 2][0]
+        detours = [p for p in paths if len(p) == 3]
+        assert disjointness(direct, detours[0]) == 1.0  # no transit at all
+        assert disjointness(detours[0], direct) == 1.0  # direct shares nothing
+        same = disjointness(detours[0], detours[0])
+        assert same == 0.0
+
+    def test_most_disjoint_selection(self, mesh_paths):
+        _, paths = mesh_paths
+        chosen = most_disjoint(paths, count=3)
+        assert len(chosen) == 3
+        # Pairwise transit-disjoint in a 5-mesh: each detour uses a
+        # different middle AS.
+        for i, a in enumerate(chosen):
+            for b in chosen[i + 1 :]:
+                middle_a = set(a.ases[1:-1])
+                middle_b = set(b.ases[1:-1])
+                assert not (middle_a & middle_b)
+
+    def test_most_disjoint_handles_small_sets(self, mesh_paths):
+        _, paths = mesh_paths
+        assert most_disjoint(paths[:1], count=5) == paths[:1]
+        assert most_disjoint([], count=2) == []
+        with pytest.raises(ValueError):
+            most_disjoint(paths, count=0)
+
+
+class TestMetrics:
+    def test_jain_equal(self):
+        assert jain_fairness([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_jain_single_taker(self):
+        assert jain_fairness([9, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_jain_validations(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+        with pytest.raises(ValueError):
+            jain_fairness([-1.0])
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.99) == 99
+        assert percentile(values, 1.0) == 100
+        assert percentile(values, 0.0) == 1
+
+    def test_percentile_validations(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestCoremeltCollusion:
+    """The Coremelt/Crossfire attack class (§8 refs [26][53]): colluding
+    ASes exchange *legitimate* reservations to melt a shared core link.
+    Colibri's defence is the admission algorithm itself (§5.2): aggregate
+    adjusted demand per ingress and per source is capped, so collusion
+    cannot reserve the link away, and renewal rounds converge benign
+    flows to a guaranteed floor."""
+
+    def test_colluders_cannot_starve_benign_renewals(self):
+        net = ColibriNetwork(build_core_mesh(4, capacity=gbps(40)))
+        target_first, target_last = asid(1, 1), asid(1, 3)
+        direct = net.path_lookup.paths(target_first, target_last, limit=1)[0]
+        segment = direct.segments[0]
+
+        # The benign AS holds a modest reservation over the target link.
+        benign = net.cserv(target_first).setup_segment(segment, gbps(1))
+
+        # Colluders: the same initiating AS floods reservations over the
+        # link (a group behind one ingress behaves identically, rule 1).
+        colluder_grants = []
+        for _ in range(60):
+            try:
+                reservation = net.cserv(target_first).setup_segment(
+                    segment, gbps(32), register=False
+                )
+                colluder_grants.append(reservation)
+            except InsufficientBandwidth:
+                pass
+
+        # Renewal rounds let the admission re-balance (tube fairness).
+        for _round in range(3):
+            for reservation in colluder_grants:
+                try:
+                    version = net.cserv(target_first).renew_segment(
+                        reservation.reservation_id, gbps(32)
+                    )
+                    net.cserv(target_first).activate_segment(
+                        reservation.reservation_id, version
+                    )
+                except InsufficientBandwidth:
+                    pass
+            version = net.cserv(target_first).renew_segment(
+                benign.reservation_id, gbps(1)
+            )
+            net.cserv(target_first).activate_segment(
+                benign.reservation_id, version
+            )
+
+        # The benign reservation retains a usable floor...
+        assert benign.bandwidth >= gbps(0.2)
+        # ...and the total never exceeds the link's Colibri share.
+        total = benign.bandwidth + sum(r.bandwidth for r in colluder_grants)
+        assert total <= gbps(40) * 0.8 * (1 + 1e-9)
+
+    def test_fairness_across_distinct_sources(self):
+        """Distinct source ASes competing for one egress converge to a
+        high Jain index after renewal rounds."""
+        from repro.admission import SegmentAdmission, TrafficMatrix
+        from repro.reservation.ids import ReservationId
+        from repro.topology import build_line_topology
+        from repro.topology.graph import NO_INTERFACE
+
+        topology = build_line_topology(3)
+        middle = asid(1, 2)
+        admission = SegmentAdmission(TrafficMatrix(topology.node(middle)))
+        sources = [asid(1, 100 + i) for i in range(6)]
+        for source in sources:
+            admission.admit(
+                ReservationId(source, 1), source, NO_INTERFACE, 2, gbps(32), 0.0
+            )
+        final = {}
+        for _round in range(3):
+            for source in sources:
+                grant = admission.admit(
+                    ReservationId(source, 1), source, NO_INTERFACE, 2, gbps(32), 0.0
+                )
+                final[source] = grant.granted
+        assert jain_fairness(list(final.values())) > 0.9
