@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples quick clean
+.PHONY: install test lint bench examples quick clean
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Repo-specific invariants (clock injection, seeded randomness, units,
+# strippable checks, ...): see docs/static_analysis.md.
+lint:
+	$(PYTHON) -m tools.colibri_lint src tests tools
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

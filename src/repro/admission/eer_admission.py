@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.admission.policy import AdmissionPolicy, AllowAllPolicy
-from repro.errors import InsufficientBandwidth, ReservationExpired
+from repro.errors import InsufficientBandwidth, ReservationError, ReservationExpired
 from repro.reservation.ids import ReservationId
 from repro.reservation.store import ReservationStore
 from repro.topology.addresses import HostAddr, IsdAs
@@ -167,7 +167,9 @@ class EerAdmission:
                 self.source_policy.authorize(host, requested)
             try:
                 granted = self._check_segment(segment_out, requested, now)
-            except Exception:
+            except ReservationError:
+                # Expired/unknown SegR or insufficient bandwidth: undo the
+                # policy charge before propagating the denial.
                 if host is not None:
                     self.source_policy.release(host, requested)
                 raise
@@ -203,7 +205,8 @@ class EerAdmission:
                 self.destination_policy.authorize(host, requested)
             try:
                 granted = self._check_segment(segment_in, requested, now)
-            except Exception:
+            except ReservationError:
+                # Same roll-back as the source side (§4.7).
                 if host is not None:
                     self.destination_policy.release(host, requested)
                 raise

@@ -28,6 +28,7 @@ CServ replicas" claim (§6.2) credible.
 from __future__ import annotations
 
 from repro.control.cserv import ColibriService
+from repro.errors import ReservationNotFound
 from repro.reservation.ids import ReservationId
 
 
@@ -141,7 +142,9 @@ class DistributedCServ:
         try:
             reservation = self.parent.store.get_eer(request.reservation)
             segment_ids = reservation.segment_ids
-        except Exception:
+        except ReservationNotFound:
+            # Renewal of an EER we never stored: admission rejects it
+            # downstream; route deterministically via worker 0.
             segment_ids = ()
         worker = self._worker_for(segment_ids)
         return worker.handle("handle_eer_renewal", request, auth, hop_index)

@@ -20,13 +20,16 @@ import hmac
 
 from repro.constants import L_HVF, MAC_LENGTH
 from repro.crypto.prf import prf
-from repro.errors import MacVerificationError
+from repro.errors import CryptoError, MacVerificationError
 
 
 def mac(key: bytes, data: bytes) -> bytes:
     """Full-width (16-byte) MAC over ``data`` under ``key``."""
     tag = prf(key, data)
-    assert len(tag) == MAC_LENGTH
+    if len(tag) != MAC_LENGTH:
+        raise CryptoError(
+            f"PRF produced a {len(tag)}-byte tag, expected {MAC_LENGTH}"
+        )
     return tag
 
 

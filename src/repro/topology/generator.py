@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 
+from repro.errors import TopologyError
 from repro.topology.addresses import IsdAs
 from repro.topology.graph import LinkType, Topology
 from repro.util.units import gbps
@@ -168,7 +169,8 @@ def build_power_law(
             b = all_cores[(index + 1) % isd_count][0]
             try:
                 topology.link_between(a, b)
-            except Exception:
+            except TopologyError:
+                # Not linked yet — add the inter-ISD core link.
                 topology.add_link(a, b, LinkType.CORE, capacity)
     return topology
 
@@ -231,6 +233,7 @@ def build_internet_like(
         a, b = rng.sample(flattened, 2)
         try:
             topology.link_between(a, b)
-        except Exception:
+        except TopologyError:
+            # The sampled core pair is not linked yet — add the chord.
             topology.add_link(a, b, LinkType.CORE, capacity)
     return topology

@@ -1,0 +1,1 @@
+"""Development tooling for the Colibri reproduction (not shipped with the library)."""

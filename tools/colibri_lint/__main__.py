@@ -1,0 +1,6 @@
+"""Entry point for ``python -m tools.colibri_lint``."""
+
+from tools.colibri_lint.cli import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Rule registry: every shipped rule, in rule-ID order."""
+
+from __future__ import annotations
+
+from tools.colibri_lint.rules.asserts import ProductionAssertRule
+from tools.colibri_lint.rules.base import Rule
+from tools.colibri_lint.rules.citations import ConstantCitationRule
+from tools.colibri_lint.rules.clocks import DirectClockRule
+from tools.colibri_lint.rules.exceptions import BroadExceptRule
+from tools.colibri_lint.rules.mutable_defaults import MutableDefaultRule
+from tools.colibri_lint.rules.randomness import UnseededRandomRule
+from tools.colibri_lint.rules.units import UnitLiteralRule
+from tools.colibri_lint.rules.verification import DiscardedVerificationRule
+
+ALL_RULES: list = [
+    DirectClockRule(),
+    UnseededRandomRule(),
+    ProductionAssertRule(),
+    BroadExceptRule(),
+    UnitLiteralRule(),
+    MutableDefaultRule(),
+    DiscardedVerificationRule(),
+    ConstantCitationRule(),
+]
+
+RULES_BY_ID: dict = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = ["Rule", "ALL_RULES", "RULES_BY_ID"]

@@ -1,0 +1,78 @@
+"""CL008 — paper constants must cite their source.
+
+Every value in ``repro/constants.py`` comes from the Colibri paper; a
+constant without a section citation cannot be checked against the source
+and silently drifts.  Each module-level assignment needs a citation
+(``§4.5``, ``Eq. 3``, ``Table 2``, ``Fig. 4``, ``Appendix D``,
+``footnote``) either in a trailing comment or in the contiguous
+comment/assignment block directly above it (one block comment may cover a
+group of related constants).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.colibri_lint.context import FileContext
+from tools.colibri_lint.findings import Finding
+from tools.colibri_lint.rules.base import Rule
+
+CITATION_RE = re.compile(r"§\s*\S|Eq\.|Table\s*\d|Fig\.|footnote|Appendix")
+
+
+class ConstantCitationRule(Rule):
+    rule_id = "CL008"
+    name = "constants-cite-paper"
+    rationale = (
+        "Constants in repro/constants.py must carry a paper-section "
+        "citation so drift from the source is detectable."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_constants_module
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            else:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names:
+                continue
+            if not self._is_cited(ctx, node.lineno):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"constant {', '.join(names)} lacks a paper citation "
+                    "(§/Eq./Table/Fig./Appendix) in a trailing or preceding "
+                    "comment",
+                )
+
+    def _is_cited(self, ctx: FileContext, lineno: int) -> bool:
+        comment = ctx.comments.get(lineno)
+        if comment and CITATION_RE.search(comment):
+            return True
+        # Walk upward through the contiguous block of comments and sibling
+        # assignments; a blank line or unrelated statement ends the block.
+        line = lineno - 1
+        while line >= 1:
+            text = ctx.lines[line - 1].strip()
+            if not text:
+                return False
+            comment = ctx.comments.get(line)
+            if comment is not None and CITATION_RE.search(comment):
+                return True
+            is_comment_line = text.startswith("#")
+            is_assignment_line = (
+                re.match(r"^[A-Za-z_][A-Za-z0-9_]*\s*(?::[^=]+)?=", text) is not None
+            )
+            if not (is_comment_line or is_assignment_line):
+                return False
+            line -= 1
+        return False

@@ -1,0 +1,70 @@
+"""CL001 — all time must flow through the Clock abstraction.
+
+The paper assumes ASes are synchronized within ±0.1 s (§2.3); DESIGN's
+clock discipline models that by injecting a :class:`repro.util.clock.Clock`
+everywhere.  A component that reads ``time.time()`` directly bypasses the
+``SimClock``/``SkewedClock`` machinery, making simulations nondeterministic
+and skew untestable.  Only ``repro/util/clock.py`` may touch :mod:`time`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.colibri_lint.context import FileContext
+from tools.colibri_lint.findings import Finding
+from tools.colibri_lint.rules.base import Rule
+
+CLOCK_READS = frozenset(
+    {
+        "time",
+        "monotonic",
+        "perf_counter",
+        "time_ns",
+        "monotonic_ns",
+        "perf_counter_ns",
+        "clock_gettime",
+    }
+)
+
+
+class DirectClockRule(Rule):
+    rule_id = "CL001"
+    name = "no-direct-clock"
+    rationale = (
+        "Components must take a Clock (repro.util.clock); direct time.time()/"
+        "time.monotonic() calls break SimClock determinism and the ±0.1 s "
+        "skew model of paper §2.3."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.is_clock_module
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in CLOCK_READS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"direct clock read time.{func.attr}(); inject a "
+                        "repro.util.clock.Clock and call .now() instead",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in CLOCK_READS:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"importing {alias.name} from time invites direct "
+                            "clock reads; inject a Clock instead",
+                        )

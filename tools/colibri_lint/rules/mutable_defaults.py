@@ -1,0 +1,63 @@
+"""CL006 — no mutable default arguments.
+
+A ``def f(hops=[])`` default is created once and shared by every call —
+state leaks across reservations, simulations stop being independent, and
+replays diverge.  Use ``None`` plus an in-body default.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.colibri_lint.context import FileContext
+from tools.colibri_lint.findings import Finding
+from tools.colibri_lint.rules.base import Rule
+
+MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+def _is_mutable(node) -> bool:
+    if isinstance(node, MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in MUTABLE_CONSTRUCTORS
+    )
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "CL006"
+    name = "no-mutable-defaults"
+    rationale = (
+        "Mutable defaults are shared across calls, leaking state between "
+        "reservations and breaking replay independence."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            all_defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in all_defaults:
+                if _is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default.lineno,
+                        default.col_offset,
+                        "mutable default argument is shared across calls; "
+                        "use None and create the value in the body",
+                    )

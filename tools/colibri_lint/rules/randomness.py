@@ -1,0 +1,68 @@
+"""CL002 — randomness must be seeded and instance-scoped.
+
+Simulations replay deterministically only if every random draw comes from
+a ``random.Random(seed)`` instance owned by the component.  Module-level
+``random.choice()`` etc. share hidden global state across components and
+test runs, exactly the silent-drift failure mode SIBRA/Hummingbird warn
+about for reservation replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.colibri_lint.context import FileContext
+from tools.colibri_lint.findings import Finding
+from tools.colibri_lint.rules.base import Rule
+
+#: Constructors that are fine to reach through the module: a seeded
+#: instance, or the OS entropy source for key material.
+ALLOWED_ATTRS = frozenset({"Random", "SystemRandom"})
+
+
+class UnseededRandomRule(Rule):
+    rule_id = "CL002"
+    name = "no-module-level-random"
+    rationale = (
+        "All randomness flows through an explicitly seeded random.Random "
+        "instance so simulations replay deterministically."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                ):
+                    if func.attr not in ALLOWED_ATTRS:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"module-level random.{func.attr}() uses hidden "
+                            "global state; draw from a seeded "
+                            "random.Random(seed) instance",
+                        )
+                    elif func.attr == "Random" and not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            "random.Random() without a seed is "
+                            "nondeterministic; pass an explicit seed",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in ALLOWED_ATTRS:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"from random import {alias.name} pulls a "
+                            "global-state function; import random and use a "
+                            "seeded random.Random(seed)",
+                        )

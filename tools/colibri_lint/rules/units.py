@@ -1,0 +1,98 @@
+"""CL005 — bandwidth literals must go through the units helpers.
+
+Bandwidths inside the library are floats in **bits per second**
+(`repro/util/units.py`).  A literal like ``bandwidth=0.4`` almost always
+means "0.4 Gbps" (Table 2's reservation 1) but is read as 0.4 bps — a
+nine-order-of-magnitude silent unit error, the SIBRA-class monitoring bug.
+Any positive numeric literal below 1 Kbps bound to a bandwidth-flavoured
+keyword or default is flagged; write ``gbps(0.4)`` / ``mbps(4)`` instead.
+Literal ``0``/``0.0`` stays legal (explicit "no bandwidth").
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.colibri_lint.context import FileContext
+from tools.colibri_lint.findings import Finding
+from tools.colibri_lint.rules.base import Rule
+
+UNIT_KEYWORDS = frozenset(
+    {
+        "bandwidth",
+        "capacity",
+        "rate",
+        "min_bandwidth",
+        "max_bandwidth",
+        "bandwidth_bps",
+        "link_capacity",
+    }
+)
+
+#: Anything below 1 Kbps bound to a bandwidth keyword is almost certainly
+#: a value in the wrong unit (a reservation of < 1000 bps is nonsense).
+SUSPICIOUS_BELOW = 1_000.0
+
+
+def _suspicious_literal(node) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and 0 < node.value < SUSPICIOUS_BELOW
+    )
+
+
+class UnitLiteralRule(Rule):
+    rule_id = "CL005"
+    name = "use-unit-helpers"
+    rationale = (
+        "Bandwidths are bits/s floats; sub-Kbps literals on bandwidth "
+        "keywords are unit mistakes — use gbps()/mbps()/kbps() from "
+        "repro.util.units."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_production
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg in UNIT_KEYWORDS and _suspicious_literal(
+                        keyword.value
+                    ):
+                        value = keyword.value.value
+                        yield self.finding(
+                            ctx,
+                            keyword.value.lineno,
+                            keyword.value.col_offset,
+                            f"{keyword.arg}={value!r} is {value} bits/s — "
+                            f"almost certainly a unit error; write "
+                            f"gbps({value!r}) or mbps({value!r}) from "
+                            "repro.util.units",
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(ctx, node)
+
+    def _check_defaults(self, ctx: FileContext, node) -> Iterator[Finding]:
+        positional = node.args.posonlyargs + node.args.args
+        defaults = node.args.defaults
+        paired = list(zip(positional[len(positional) - len(defaults) :], defaults))
+        paired += [
+            (arg, default)
+            for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults)
+            if default is not None
+        ]
+        for arg, default in paired:
+            if arg.arg in UNIT_KEYWORDS and _suspicious_literal(default):
+                value = default.value
+                yield self.finding(
+                    ctx,
+                    default.lineno,
+                    default.col_offset,
+                    f"default {arg.arg}={value!r} is {value} bits/s — "
+                    f"almost certainly a unit error; write gbps({value!r}) "
+                    f"or mbps({value!r}) from repro.util.units",
+                )
