@@ -86,6 +86,48 @@ OFD_OVERUSE_FACTOR = 1.05  # report flows above 105 % of reserved rate
 DUPLICATE_WINDOW = FRESHNESS_WINDOW
 
 # --------------------------------------------------------------------------
+# Control-plane fault tolerance (§3.3, §4.2).
+# The paper requires that "in case of an unsuccessful request, the ASes
+# clean up their temporary reservations" (§3.3) and that renewals keep
+# reservations alive across expiry boundaries (§4.2).  The reproduction
+# adds retry/timeout/backoff machinery around the §6.1 RPC layer; these
+# parameters size it.  Attempt budgets are chosen so a 20 % per-call loss
+# rate still converges with > 99 % probability within one EER lifetime
+# (0.2^4 ≈ 0.16 % residual failure per hop), and cleanup gets a larger
+# budget because a failed cleanup — unlike a failed setup — leaves
+# residual allocations that violate the §3.3 invariant.
+# --------------------------------------------------------------------------
+RETRY_MAX_ATTEMPTS = 4  # setup/renewal attempts per hop-to-hop call (§3.3)
+CLEANUP_MAX_ATTEMPTS = 8  # abort/teardown attempts; 0.2^8 ≈ 2.6e-6 (§3.3)
+RETRY_BASE_DELAY = 0.05  # seconds before the first retry (§4.2 renewals
+#   must finish well inside the 16 s EER lifetime, §3.3)
+RETRY_MAX_DELAY = 1.0  # backoff cap: stay inside the EER lead time (§4.2)
+RETRY_MULTIPLIER = 2.0  # capped exponential backoff growth factor (§3.3)
+
+# Per-method-class call-latency budgets (virtual seconds on the bus; §6.1
+# "disregard[s] propagation delays", so budgets are measured against
+# injected latency, never the wall clock).  Setups traverse whole paths
+# of ~4-5 ASes (§7 footnote 3); queries are single-hop.
+CALL_TIMEOUT_SETUP = 4.0  # seconds, multi-hop setup/renewal chain (§3.3)
+CALL_TIMEOUT_QUERY = 1.0  # seconds, single registry lookup (Appendix C)
+
+# Circuit breaker: after this many consecutive transport failures the
+# destination AS is considered down and calls fail fast; after the reset
+# timeout one probe is let through (half-open).  Sized against the SegR
+# renewal lead time so a recovered AS is re-probed before SegRs lapse
+# (§4.2: renewals happen within the 60 s lead window).
+CIRCUIT_FAILURE_THRESHOLD = 5  # consecutive failures to open (§4.2)
+CIRCUIT_RESET_TIMEOUT = 10.0  # seconds until a half-open probe (§4.2)
+
+# Idempotency cache: handlers remember successful setup/renewal responses
+# by request identity so a retry after a *lost response* replays the
+# answer instead of double-admitting bandwidth (§3.3 cleanup invariant).
+# Entries must outlive the longest retry storm: attempts x capped backoff
+# plus the call budget, comfortably under one EER lifetime (§3.3).
+IDEMPOTENCY_TTL = 2 * EER_LIFETIME  # seconds (§3.3)
+IDEMPOTENCY_MAX_ENTRIES = 4096  # bounded memory at busy CServs (§5.3)
+
+# --------------------------------------------------------------------------
 # Evaluation geometry (§7.1, Table 2).
 # --------------------------------------------------------------------------
 EVAL_LINK_GBPS = 40.0

@@ -8,7 +8,11 @@ from repro.control.multipath import (
     MultipathEer,
     reserve_segments_with_fallback,
 )
-from repro.control.dissemination import SegmentDescriptor, SegmentRegistry
+from repro.control.dissemination import (
+    RemoteQueryClient,
+    SegmentDescriptor,
+    SegmentRegistry,
+)
 from repro.control.distributed import DistributedCServ
 from repro.control.protected import (
     ControlDelivery,
@@ -17,15 +21,31 @@ from repro.control.protected import (
 )
 from repro.control.rate_limit import RateLimiter
 from repro.control.renewal import RenewalScheduler
-from repro.control.rpc import MessageBus
+from repro.control.retry import (
+    CircuitBreaker,
+    IdempotencyCache,
+    PolicyTable,
+    RetryingCaller,
+    RetryPolicy,
+)
+from repro.control.rpc import FaultInjector, LinkFaults, MessageBus, Unreachable
 
 __all__ = [
     "ColibriService",
     "MessageBus",
+    "FaultInjector",
+    "LinkFaults",
+    "Unreachable",
     "SegmentRegistry",
     "SegmentDescriptor",
+    "RemoteQueryClient",
     "RateLimiter",
     "RenewalScheduler",
+    "RetryPolicy",
+    "PolicyTable",
+    "RetryingCaller",
+    "CircuitBreaker",
+    "IdempotencyCache",
     "DistributedCServ",
     "TrafficForecaster",
     "BillingAgent",

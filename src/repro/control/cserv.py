@@ -18,6 +18,17 @@ next; responses unwind along the reverse path, exactly the ➋/➌/➍
 choreography of Fig. 1.  Grants are evaluated on the forward pass and
 committed on the (successful) unwind, so a failed setup leaves no
 temporary reservations behind (§3.3).
+
+Fault tolerance (§3.3, docs/robustness.md): every forwarded call goes
+through a :class:`~repro.control.retry.RetryingCaller` (capped
+exponential backoff, per-method latency budgets, per-destination circuit
+breaker).  Handlers are retry-safe: successful responses are remembered
+in an :class:`~repro.control.retry.IdempotencyCache` keyed by request
+identity, so a retry after a *lost response* replays the answer instead
+of double-admitting bandwidth.  When retries are exhausted the transport
+error propagates back to the initiator, which aborts the whole path —
+explicitly releasing whatever the hops beyond the loss point already
+committed — before re-raising.
 """
 
 from __future__ import annotations
@@ -35,8 +46,14 @@ from repro.constants import (
     SEGR_LIFETIME,
 )
 from repro.control.auth import AuthenticatedRequest
-from repro.control.dissemination import SegmentDescriptor, SegmentRegistry
+from repro.control.dissemination import (
+    REMOTE_CACHE_TTL,
+    RemoteQueryClient,
+    SegmentDescriptor,
+    SegmentRegistry,
+)
 from repro.control.rate_limit import RateLimiter
+from repro.control.retry import IdempotencyCache, PolicyTable, RetryingCaller
 from repro.control.rpc import MessageBus
 from repro.crypto.aead import aead_open, aead_seal
 from repro.crypto.keyserver import KeyServerDirectory
@@ -50,13 +67,17 @@ from repro.errors import (
     PolicyDenied,
     ReservationExpired,
     ReservationNotFound,
+    TransportError,
+    VersionError,
 )
 from repro.packets.control import (
     SEGMENT_TYPE_CODES,
     AsGrant,
+    EerAbortNotice,
     EerRenewalRequest,
     EerSetupRequest,
     EerSetupResponse,
+    SegAbortNotice,
     SegActivationRequest,
     SegRenewalRequest,
     SegSetupRequest,
@@ -77,8 +98,6 @@ from repro.util.sequence import SequenceAllocator
 
 #: Default per-source-AS request rate at the CServ (§5.3).
 DEFAULT_REQUEST_RATE = 1000.0
-#: How long cached remote SegR descriptors stay fresh (Appendix C).
-REMOTE_CACHE_TTL = 10.0
 
 _SEGMENT_TYPE_TO_CODE = {
     SegmentType.UP: SEGMENT_TYPE_CODES["up"],
@@ -116,6 +135,8 @@ class ColibriService:
         destination_policy: Optional[AdmissionPolicy] = None,
         host_acceptor: Optional[Callable] = None,
         request_rate: float = DEFAULT_REQUEST_RATE,
+        retry_policies: Optional[PolicyTable] = None,
+        retry_sleeper: Optional[Callable[[float], None]] = None,
     ):
         self.node = node
         self.isd_as = node.isd_as
@@ -125,6 +146,18 @@ class ColibriService:
         self.bus = bus
         self.topology = topology
         self.gateway = gateway
+        #: Client-side fault tolerance: retries with backoff, latency
+        #: budgets, and per-destination circuit breaking (§3.3, §4.2).
+        self.caller = RetryingCaller(
+            bus,
+            clock,
+            self.isd_as,
+            policies=retry_policies,
+            sleeper=retry_sleeper,
+        )
+        #: Server-side retry safety: successful setup/renewal responses
+        #: by request identity, replayed when a lost response is retried.
+        self.idempotency = IdempotencyCache(clock)
 
         self.store = ReservationStore()
         self.matrix = TrafficMatrix(node)
@@ -133,7 +166,9 @@ class ColibriService:
             self.isd_as, self.store, source_policy, destination_policy
         )
         self.registry = SegmentRegistry()
-        self._remote_cache: dict = {}  # (first, last) -> (descriptors, fetched_at)
+        self.remote_client = RemoteQueryClient(
+            self.caller, self.registry, clock, self.isd_as
+        )
         self._ids = SequenceAllocator()
         self._segment_tokens: dict[ReservationId, tuple] = {}
         self.request_limiter = RateLimiter(request_rate)
@@ -144,6 +179,7 @@ class ColibriService:
         #: (EerInfo, bandwidth), returns True to accept.
         self.host_acceptor = host_acceptor or (lambda eer_info, bandwidth: True)
         self.offenses_reported = 0
+        self.aborts = {"segments": 0, "eers": 0, "undeliverable": 0}
 
         bus.register(self.isd_as, self)
 
@@ -151,6 +187,15 @@ class ColibriService:
 
     def _now(self) -> float:
         return self.clock.now()
+
+    def _call(self, isd_as: IsdAs, method: str, *args, **kwargs):
+        """Forward a control-plane call with retries/backoff/breaking."""
+        return self.caller.call(isd_as, method, *args, **kwargs)
+
+    @property
+    def _remote_cache(self) -> dict:
+        """The remote descriptor cache (moved to :attr:`remote_client`)."""
+        return self.remote_client._cache
 
     def _hop_of(self, hops: tuple, hop_index: int):
         hop = hops[hop_index]
@@ -208,7 +253,14 @@ class ColibriService:
         auth = AuthenticatedRequest.create(
             self.directory, self.isd_as, list(segment.ases), request, now
         )
-        response = self.handle_seg_setup(request, auth, 0)
+        try:
+            response = self.handle_seg_setup(request, auth, 0)
+        except TransportError:
+            # Retries exhausted mid-path.  Hops beyond the loss point may
+            # have committed (their success response never came back);
+            # clean up the whole path before giving up (§3.3).
+            self._abort_segment(res_id, 1, segment.ases)
+            raise
         if not response.success:
             bottleneck = min(response.grants, key=lambda g: g.granted, default=None)
             raise InsufficientBandwidth(
@@ -235,6 +287,18 @@ class ColibriService:
         if hop_index > 0:
             self._admission_gate(source, now)
             auth.verify_at(self.keys, now)
+        # Retry safety: if this exact request already succeeded here (its
+        # response was lost upstream), replay the remembered answer
+        # instead of admitting the bandwidth twice (§3.3).
+        idem_key = (
+            "seg_setup",
+            request.res_info.reservation,
+            request.res_info.version,
+            hop_index,
+        )
+        cached = self.idempotency.get(idem_key)
+        if cached is not None:
+            return cached
 
         try:
             grant = self.seg_admission.evaluate(
@@ -272,7 +336,7 @@ class ColibriService:
             )
         else:
             next_as = request.hops[hop_index + 1].isd_as
-            response = self.bus.call(
+            response = self._call(
                 next_as, "handle_seg_setup", forwarded, auth, hop_index + 1
             )
 
@@ -303,6 +367,7 @@ class ColibriService:
                 self.keys.hop_key(now), final_info, hop.ingress, hop.egress
             )
             response = replace(response, tokens=(token,) + response.tokens)
+            self.idempotency.put(idem_key, response)
         return response
 
     # -- renewal and activation (§4.2, §4.4) ----------------------------------------
@@ -328,7 +393,13 @@ class ColibriService:
         auth = AuthenticatedRequest.create(
             self.directory, self.isd_as, list(reservation.segment.ases), request, now
         )
-        response = self.handle_seg_renewal(request, auth, 0)
+        try:
+            response = self.handle_seg_renewal(request, auth, 0)
+        except TransportError:
+            # Drop the pending version wherever the unwind installed it
+            # before the response was lost (§3.3).
+            self._abort_segment(reservation_id, new_version, reservation.segment.ases)
+            raise
         if not response.success:
             bottleneck = min(response.grants, key=lambda g: g.granted, default=None)
             raise InsufficientBandwidth(
@@ -363,6 +434,12 @@ class ColibriService:
         if hop_index > 0:
             self._admission_gate(source, now)
             auth.verify_at(self.keys, now)
+        idem_key = (
+            "seg_renewal", request.reservation, request.new_version, hop_index
+        )
+        cached = self.idempotency.get(idem_key)
+        if cached is not None:
+            return cached
 
         # Renewal re-runs admission; the evaluator excludes this SegR's
         # current demand so it competes fairly ("on-path ASes can also
@@ -397,7 +474,7 @@ class ColibriService:
             )
         else:
             next_as = hops[hop_index + 1].isd_as
-            response = self.bus.call(
+            response = self._call(
                 next_as, "handle_seg_renewal", forwarded, auth, hop_index + 1
             )
 
@@ -413,6 +490,7 @@ class ColibriService:
                 self.keys.hop_key(now), response.res_info, hop.ingress, hop.egress
             )
             response = replace(response, tokens=(token,) + response.tokens)
+            self.idempotency.put(idem_key, response)
         return response
 
     def teardown_segment(self, reservation_id: ReservationId) -> None:
@@ -453,7 +531,7 @@ class ColibriService:
             return False  # EERs still riding: keep until they expire
         hops = reservation.segment.hops
         if hop_index < len(hops) - 1:
-            self.bus.call(
+            self._call(
                 hops[hop_index + 1].isd_as,
                 "handle_seg_teardown",
                 request,
@@ -487,11 +565,16 @@ class ColibriService:
         reservation = self.store.get_segment(request.reservation)
         if hop_index > 0:
             auth.verify_at(self.keys, now)
+        idem_key = (
+            "seg_activate", request.reservation, request.version, hop_index
+        )
+        if self.idempotency.get(idem_key) is not None:
+            return True  # retried activation: already switched here
         hops = reservation.segment.hops
         # Activate downstream first: if any AS refuses (e.g. the version
         # expired under clock skew), upstream ASes keep the old version.
         if hop_index < len(hops) - 1:
-            self.bus.call(
+            self._call(
                 hops[hop_index + 1].isd_as,
                 "handle_seg_activation",
                 request,
@@ -565,7 +648,15 @@ class ColibriService:
         auth = AuthenticatedRequest.create(
             self.directory, self.isd_as, list(path.ases), request, now
         )
-        response = self.handle_eer_setup(request, auth, 0)
+        try:
+            response = self.handle_eer_setup(request, auth, 0)
+        except TransportError:
+            # Retries exhausted mid-path: hops beyond the loss point may
+            # hold committed allocations whose response never returned.
+            # Abort path-wide, then refetch descriptors on any retry.
+            self._invalidate_remote_cache(descriptors)
+            self._abort_eer(res_id, 1, path.hops)
+            raise
         if not response.success:
             # A stale cached SegR is one failure cause (Appendix C):
             # invalidate the cache so a retry refetches fresh descriptors.
@@ -667,6 +758,15 @@ class ColibriService:
         if hop_index > 0:
             self._admission_gate(source, now)
             auth.verify_at(self.keys, now)
+        idem_key = (
+            "eer_setup",
+            request.res_info.reservation,
+            request.res_info.version,
+            hop_index,
+        )
+        cached = self.idempotency.get(idem_key)
+        if cached is not None:
+            return cached
 
         def fail(granted: float) -> EerSetupResponse:
             return EerSetupResponse(
@@ -730,9 +830,19 @@ class ColibriService:
             )
         else:
             next_as = request.hops[hop_index + 1].isd_as
-            response = self.bus.call(
-                next_as, "handle_eer_setup", forwarded, auth, hop_index + 1
-            )
+            try:
+                response = self._call(
+                    next_as, "handle_eer_setup", forwarded, auth, hop_index + 1
+                )
+            except TransportError:
+                # Nothing committed here yet, but `decide` charged policy
+                # budget / transfer demand — return it before the error
+                # climbs back towards the initiator (§3.3 cleanup).
+                self._release_eer_decision(
+                    role, host, request.res_info.bandwidth,
+                    segment_in, segment_out, core_contention,
+                )
+                raise
 
         if response.success:
             final_info = response.res_info
@@ -763,17 +873,37 @@ class ColibriService:
             response = replace(
                 response, sealed_hopauths=(sealed,) + response.sealed_hopauths
             )
+            self.idempotency.put(idem_key, response)
         else:
-            # Release any policy budget the failed attempt consumed.
-            if host is not None and role is AsRole.SOURCE:
-                self.eer_admission.source_policy.release(
-                    host, request.res_info.bandwidth
-                )
-            elif host is not None and role is AsRole.DESTINATION:
-                self.eer_admission.destination_policy.release(
-                    host, request.res_info.bandwidth
-                )
+            # Release everything the failed attempt's `decide` consumed:
+            # policy budget at host-facing roles, and — previously leaked
+            # — the transfer AS's registered core-SegR demand, which
+            # would otherwise shrink other up-SegRs' quotas forever.
+            self._release_eer_decision(
+                role, host, request.res_info.bandwidth,
+                segment_in, segment_out, core_contention,
+            )
         return response
+
+    def _release_eer_decision(
+        self,
+        role: AsRole,
+        host,
+        bandwidth: float,
+        segment_in,
+        segment_out,
+        core_contention: bool,
+    ) -> None:
+        """Undo the temporary state :meth:`EerAdmission.decide` created
+        for a request that will not commit here (§3.3 cleanup)."""
+        if host is not None and role is AsRole.SOURCE:
+            self.eer_admission.source_policy.release(host, bandwidth)
+        elif host is not None and role is AsRole.DESTINATION:
+            self.eer_admission.destination_policy.release(host, bandwidth)
+        if role is AsRole.TRANSFER and core_contention:
+            self.eer_admission.distributor.release_demand(
+                segment_out, segment_in, bandwidth
+            )
 
     def renew_eer(self, handle: EerHandle, new_bandwidth: float = None) -> EerHandle:
         """Renew an own EER ahead of expiry (§4.2); returns the updated
@@ -793,7 +923,13 @@ class ColibriService:
         auth = AuthenticatedRequest.create(
             self.directory, self.isd_as, on_path, request, now
         )
-        response = self.handle_eer_renewal(request, auth, 0)
+        try:
+            response = self.handle_eer_renewal(request, auth, 0)
+        except TransportError:
+            # Drop the half-installed renewal version everywhere; the
+            # base version keeps carrying traffic (§4.2).
+            self._abort_eer(handle.reservation_id, request.new_version, handle.hops)
+            raise
         if not response.success:
             bottleneck = min(response.grants, key=lambda g: g.granted, default=None)
             raise InsufficientBandwidth(
@@ -852,6 +988,12 @@ class ColibriService:
         if hop_index > 0:
             self._admission_gate(source, now)
             auth.verify_at(self.keys, now)
+        idem_key = (
+            "eer_renewal", request.reservation, request.new_version, hop_index
+        )
+        cached = self.idempotency.get(idem_key)
+        if cached is not None:
+            return cached
 
         try:
             role, segment_in, segment_out = self._role_and_segments(
@@ -914,7 +1056,10 @@ class ColibriService:
                 grants=forwarded.grants,
             )
         else:
-            response = self.bus.call(
+            # Renewal's `decide` ran with host=None and no contention
+            # flag, so a transport failure here leaves no temp state to
+            # release — the error just climbs back to the initiator.
+            response = self._call(
                 hops[hop_index + 1].isd_as,
                 "handle_eer_renewal",
                 forwarded,
@@ -948,7 +1093,156 @@ class ColibriService:
             response = replace(
                 response, sealed_hopauths=(sealed,) + response.sealed_hopauths
             )
+            self.idempotency.put(idem_key, response)
         return response
+
+    # ==================================================== abort paths (§3.3) ==
+    #
+    # When a setup/renewal response is lost, the hops beyond the loss
+    # point have already committed; the initiator knows the full hop list
+    # and tells every on-path AS *directly* (not hop-by-hop — any single
+    # link can be the broken one) to drop the half-installed state.
+    # Aborts use the CLEANUP retry policy: more attempts, and they bypass
+    # the circuit breaker, because cleanup towards a flaky AS is exactly
+    # the call that must not be refused.
+
+    def _abort_segment(self, res_id: ReservationId, version: int, ases) -> None:
+        """Release a half-committed SegR setup (version 1) or renewal
+        (version > 1) at every on-path AS."""
+        self.aborts["segments"] += 1
+        now = self._now()
+        request = SegAbortNotice(reservation=res_id, version=version)
+        targets = [isd_as for isd_as in ases if isd_as != self.isd_as]
+        auth = AuthenticatedRequest.create(
+            self.directory, self.isd_as, targets, request, now
+        )
+        self._local_seg_abort(res_id, version)
+        for isd_as in targets:
+            try:
+                self._call(isd_as, "handle_seg_abort", request, auth)
+            except TransportError:
+                # Even the generous cleanup budget ran dry; that AS's
+                # residue now expires with the reservation lifetime.
+                self.aborts["undeliverable"] += 1
+
+    def handle_seg_abort(
+        self, request: SegAbortNotice, auth: AuthenticatedRequest
+    ) -> bool:
+        now = self._now()
+        auth.verify_at(self.keys, now)
+        # Only the initiator may tear down its own half-committed state.
+        if request.reservation.src_as != auth.source:
+            raise AdmissionDenied(
+                f"abort of {request.reservation} not requested by its owner"
+            )
+        self._local_seg_abort(request.reservation, request.version)
+        return True
+
+    def _local_seg_abort(self, res_id: ReservationId, version: int) -> None:
+        # Forget replay answers for the aborted request so a later
+        # legitimate retry is admitted fresh, not served stale state.
+        self.idempotency.invalidate(
+            lambda key: key[1] == res_id and (version <= 1 or key[2] == version)
+        )
+        try:
+            reservation = self.store.get_segment(res_id)
+        except ReservationNotFound:
+            return  # the request never committed here: nothing to undo
+        if version <= 1:
+            self.seg_admission.release(res_id)
+            self.store.remove_segment(res_id)
+            self.registry.unregister(res_id)
+            self._segment_tokens.pop(res_id, None)
+            return
+        try:
+            reservation.drop_pending(version)
+        except VersionError:
+            pass  # renewal never landed here, or was already activated
+
+    def _abort_eer(self, res_id: ReservationId, version: int, hops) -> None:
+        """Release a half-committed EER setup (version 1) or renewal
+        version (version > 1) at every on-path AS."""
+        self.aborts["eers"] += 1
+        now = self._now()
+        request = EerAbortNotice(reservation=res_id, version=version)
+        targets = [hop.isd_as for hop in hops if hop.isd_as != self.isd_as]
+        auth = AuthenticatedRequest.create(
+            self.directory, self.isd_as, targets, request, now
+        )
+        self._local_eer_abort(res_id, version)
+        for isd_as in targets:
+            try:
+                self._call(isd_as, "handle_eer_abort", request, auth)
+            except TransportError:
+                self.aborts["undeliverable"] += 1
+
+    def handle_eer_abort(
+        self, request: EerAbortNotice, auth: AuthenticatedRequest
+    ) -> bool:
+        now = self._now()
+        auth.verify_at(self.keys, now)
+        if request.reservation.src_as != auth.source:
+            raise AdmissionDenied(
+                f"abort of {request.reservation} not requested by its owner"
+            )
+        self._local_eer_abort(request.reservation, request.version)
+        return True
+
+    def _local_eer_abort(self, res_id: ReservationId, version: int) -> None:
+        self.idempotency.invalidate(
+            lambda key: key[1] == res_id and (version <= 1 or key[2] == version)
+        )
+        try:
+            reservation = self.store.get_eer(res_id)
+        except ReservationNotFound:
+            return
+        now = self._now()
+        if version <= 1:
+            # Abort of the initial setup: the whole EER goes, and every
+            # SegR this AS holds gets its allocation back — exact zero,
+            # not "wait 16 s for expiry" (§3.3).
+            self._release_transfer_demand(reservation, res_id)
+            with self.store.transaction():
+                for segment_id in reservation.segment_ids:
+                    self.store.release_on_segment(segment_id, res_id)
+                self.store.remove_eer(res_id)
+            return
+        try:
+            reservation.drop_version(version)
+        except VersionError:
+            return  # the renewal version never landed here
+        # Shrink the allocation back to what the surviving versions need.
+        remaining = reservation.effective_bandwidth(now)
+        with self.store.transaction():
+            for segment_id in reservation.segment_ids:
+                if not self.store.has_segment(segment_id):
+                    continue
+                if self.store.eer_allocation(segment_id, res_id) > remaining:
+                    self.store.allocate_on_segment(segment_id, res_id, remaining)
+
+    def _release_transfer_demand(
+        self, reservation: E2EReservation, res_id: ReservationId
+    ) -> None:
+        """Return an aborted EER's share of the up-SegR demand a transfer
+        AS registered against the core-SegR quota (§4.7)."""
+        pairs = zip(reservation.segment_ids, reservation.segment_ids[1:])
+        for seg_in_id, seg_out_id in pairs:
+            if not (
+                self.store.has_segment(seg_in_id)
+                and self.store.has_segment(seg_out_id)
+            ):
+                continue
+            seg_in = self.store.get_segment(seg_in_id)
+            seg_out = self.store.get_segment(seg_out_id)
+            if (
+                seg_in.segment.segment_type is SegmentType.UP
+                and seg_out.segment.segment_type is SegmentType.CORE
+            ):
+                self.eer_admission.distributor.release_demand(
+                    seg_out_id,
+                    seg_in_id,
+                    self.store.eer_allocation(seg_out_id, res_id),
+                )
 
     # ====================================================== host front door ==
 
@@ -1012,28 +1306,10 @@ class ColibriService:
 
     def _fetch_descriptors(self, owner: IsdAs, first: IsdAs, last: IsdAs) -> list:
         """Local registry, then cache, then a remote CServ query."""
-        now = self._now()
-        local = self.registry.query(first, last, self.isd_as, now)
-        if local:
-            return local
-        cached = self._remote_cache.get((first, last))
-        if cached is not None:
-            descriptors, fetched_at = cached
-            fresh = [d for d in descriptors if not d.is_expired(now)]
-            if fresh and now - fetched_at < REMOTE_CACHE_TTL:
-                return fresh
-        try:
-            descriptors = self.bus.call(
-                owner, "query_registry", first, last, self.isd_as
-            )
-        except ColibriError:
-            return []
-        self._remote_cache[(first, last)] = (list(descriptors), now)
-        return [d for d in descriptors if not d.is_expired(now)]
+        return self.remote_client.fetch(owner, first, last)
 
     def _invalidate_remote_cache(self, descriptors: list) -> None:
-        for descriptor in descriptors:
-            self._remote_cache.pop((descriptor.first_as, descriptor.last_as), None)
+        self.remote_client.invalidate(descriptors)
 
     def find_segment_chain(self, destination: IsdAs):
         """Assemble 1-3 SegRs covering a path to ``destination``.

@@ -8,10 +8,19 @@ up SegRs in its database and contacts remote CServs if necessary […]
 These additional SegRs are then also cached at the local CServ."
 
 :class:`SegmentRegistry` is the per-CServ database; the remote-query and
-caching logic lives in :meth:`repro.control.cserv.ColibriService.find_segment_chain`.
-Entries travel between CServs as plain :class:`SegmentDescriptor` values
-(no live object sharing — the consumer AS never holds another AS's
+caching side is :class:`RemoteQueryClient`, which a CServ drives from
+:meth:`repro.control.cserv.ColibriService.find_segment_chain`.  Entries
+travel between CServs as plain :class:`SegmentDescriptor` values (no
+live object sharing — the consumer AS never holds another AS's
 reservation state, only the public description).
+
+Remote queries go through the CServ's retrying caller
+(:mod:`repro.control.retry`), so a lossy link costs a bounded number of
+re-asks.  A query that still fails falls back to the cached previous
+answer even past its freshness window (descriptors carry their own
+expiry, and a stale-but-valid SegR beats no path at all); with nothing
+cached the transport error propagates, so callers can tell "the remote
+CServ is unreachable" apart from "the remote CServ knows no SegRs".
 """
 
 from __future__ import annotations
@@ -20,10 +29,12 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import ColibriError, TransportError
 from repro.reservation.ids import ReservationId
 from repro.reservation.segment import SegmentReservation
 from repro.topology.addresses import IsdAs
 from repro.topology.segments import Segment
+from repro.util.clock import Clock
 
 
 @dataclass(frozen=True)
@@ -132,3 +143,81 @@ class SegmentRegistry:
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._by_pair.values())
+
+
+#: How long cached remote SegR descriptors stay fresh (Appendix C).
+REMOTE_CACHE_TTL = 10.0
+
+
+class RemoteQueryClient:
+    """Hierarchical descriptor lookup with caching (Appendix C).
+
+    Resolution order: the local registry, then the freshness-bounded
+    cache of earlier remote answers, then a remote ``query_registry``
+    call issued through ``caller`` (a retrying caller or the raw bus —
+    anything with the same ``call`` signature).  When the remote query
+    fails at the transport layer, unexpired descriptors from a stale
+    cache entry are served instead (they remain individually valid until
+    their own expiry); only with an empty cache does the transport error
+    propagate.  Authoritative remote refusals still degrade to "no
+    remote SegRs known".
+    """
+
+    def __init__(
+        self,
+        caller,
+        registry: SegmentRegistry,
+        clock: Clock,
+        isd_as: IsdAs,
+        cache_ttl: float = REMOTE_CACHE_TTL,
+    ):
+        self.caller = caller
+        self.registry = registry
+        self.clock = clock
+        self.isd_as = isd_as
+        self.cache_ttl = cache_ttl
+        self._cache: dict = {}  # (first, last) -> (descriptors, fetched_at)
+        self.remote_queries = 0
+        self.remote_failures = 0
+        self.stale_served = 0
+
+    def fetch(self, owner: IsdAs, first: IsdAs, last: IsdAs) -> list:
+        """Local registry, then cache, then a remote CServ query."""
+        now = self.clock.now()
+        local = self.registry.query(first, last, self.isd_as, now)
+        if local:
+            return local
+        cached = self._cache.get((first, last))
+        if cached is not None:
+            descriptors, fetched_at = cached
+            fresh = [d for d in descriptors if not d.is_expired(now)]
+            if fresh and now - fetched_at < self.cache_ttl:
+                return fresh
+        self.remote_queries += 1
+        try:
+            descriptors = self.caller.call(
+                owner, "query_registry", first, last, self.isd_as
+            )
+        except TransportError:
+            self.remote_failures += 1
+            if cached is not None:
+                stale = [d for d in cached[0] if not d.is_expired(now)]
+                if stale:
+                    self.stale_served += 1
+                    return stale
+            raise
+        except ColibriError:
+            self.remote_failures += 1
+            return []
+        self._cache[(first, last)] = (list(descriptors), now)
+        return [d for d in descriptors if not d.is_expired(now)]
+
+    def invalidate(self, descriptors: list) -> None:
+        """Drop cache entries covering the given descriptors — called
+        after a setup failure that smells like stale remote SegRs, so
+        the retry refetches fresh state (Appendix C)."""
+        for descriptor in descriptors:
+            self._cache.pop((descriptor.first_as, descriptor.last_as), None)
+
+    def cached_pairs(self) -> list:
+        return sorted(self._cache)

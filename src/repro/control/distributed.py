@@ -131,6 +131,12 @@ class DistributedCServ:
             "handle_seg_activation", request, auth, hop_index
         )
 
+    def handle_seg_teardown(self, request, auth, hop_index):
+        return self.coordinator.handle("handle_seg_teardown", request, auth, hop_index)
+
+    def handle_seg_abort(self, request, auth):
+        return self.coordinator.handle("handle_seg_abort", request, auth)
+
     def handle_eer_setup(self, request, auth, hop_index):
         egress = self._egress_for(request.segment_ids)
         if egress is not None:
@@ -148,6 +154,17 @@ class DistributedCServ:
             segment_ids = ()
         worker = self._worker_for(segment_ids)
         return worker.handle("handle_eer_renewal", request, auth, hop_index)
+
+    def handle_eer_abort(self, request, auth):
+        # Same-SegR-same-worker invariant: the abort must reach the
+        # worker whose admission state holds the EER's allocations.
+        try:
+            reservation = self.parent.store.get_eer(request.reservation)
+            segment_ids = reservation.segment_ids
+        except ReservationNotFound:
+            segment_ids = ()
+        worker = self._worker_for(segment_ids)
+        return worker.handle("handle_eer_abort", request, auth)
 
     def query_registry(self, first_as, last_as, requester):
         return self.coordinator.handle("query_registry", first_as, last_as, requester)

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.errors import ColibriError
+from repro.errors import ColibriError, TransportError
 from repro.reservation.ids import ReservationId
 
 #: Renew when this many seconds remain before expiry.
@@ -52,7 +52,7 @@ class RenewalScheduler:
         self.eer_lead = eer_lead
         self._segments: dict[ReservationId, _TrackedSegment] = {}
         self._eers: dict[ReservationId, _TrackedEer] = {}
-        self.renewals = {"segments": 0, "eers": 0, "failures": 0}
+        self.renewals = {"segments": 0, "eers": 0, "failures": 0, "transient": 0}
 
     # -- registration ------------------------------------------------------------
 
@@ -95,9 +95,17 @@ class RenewalScheduler:
     # -- driving -----------------------------------------------------------------
 
     def tick(self) -> dict:
-        """Renew everything within its lead window; returns action counts."""
+        """Renew everything within its lead window; returns action counts.
+
+        A vanished reservation (torn down, aborted, or swept after
+        expiry) is untracked rather than renewed forever into failures —
+        for EERs exactly as for SegRs.  Transport errors count separately
+        from admission failures: the reservation stays tracked, because
+        the next tick may reach a healed path (§4.2's overlap window
+        exists precisely to ride out such gaps).
+        """
         now = self.cserv.clock.now()
-        actions = {"segments": 0, "eers": 0, "failures": 0}
+        actions = {"segments": 0, "eers": 0, "failures": 0, "transient": 0}
         for tracked in list(self._segments.values()):
             try:
                 reservation = self.cserv.store.get_segment(tracked.reservation_id)
@@ -113,10 +121,17 @@ class RenewalScheduler:
                 self.cserv.activate_segment(tracked.reservation_id, version)
                 actions["segments"] += 1
                 self.renewals["segments"] += 1
+            except TransportError:
+                actions["transient"] += 1
+                self.renewals["transient"] += 1
             except ColibriError:
                 actions["failures"] += 1
                 self.renewals["failures"] += 1
         for tracked in list(self._eers.values()):
+            eer_id = tracked.handle.reservation_id
+            if not self.cserv.store.has_eer(eer_id):
+                self._eers.pop(eer_id, None)
+                continue
             if tracked.handle.res_info.expiry - now > self.eer_lead:
                 continue
             try:
@@ -125,6 +140,9 @@ class RenewalScheduler:
                 )
                 actions["eers"] += 1
                 self.renewals["eers"] += 1
+            except TransportError:
+                actions["transient"] += 1
+                self.renewals["transient"] += 1
             except ColibriError:
                 actions["failures"] += 1
                 self.renewals["failures"] += 1

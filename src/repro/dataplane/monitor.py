@@ -27,6 +27,12 @@ from repro.dataplane.token_bucket import TokenBucket
 #: rather than attributed to an isolated burst.
 DEFAULT_CONFIRMATION_DROPS = 3
 
+#: Drops further apart than this don't accumulate towards confirmation:
+#: confirmation needs a *burst* of violations, not one stray drop per
+#: EER lifetime collected over hours ("determine overuse with
+#: certainty", §4.8 — certainty about sustained overuse, not jitter).
+DEFAULT_CONFIRMATION_WINDOW = 10.0
+
 
 class DeterministicMonitor:
     """Exact per-flow rate enforcement over token buckets."""
@@ -35,13 +41,15 @@ class DeterministicMonitor:
         self,
         burst_seconds: float = DEFAULT_BURST_SECONDS,
         confirmation_drops: int = DEFAULT_CONFIRMATION_DROPS,
+        confirmation_window: float = DEFAULT_CONFIRMATION_WINDOW,
         on_confirmed: Optional[Callable] = None,
     ):
         self.burst_seconds = burst_seconds
         self.confirmation_drops = confirmation_drops
+        self.confirmation_window = confirmation_window
         self.on_confirmed = on_confirmed
         self._buckets: dict[bytes, TokenBucket] = {}
-        self._drops: dict[bytes, int] = {}
+        self._drops: dict[bytes, tuple] = {}  # flow -> (count, last_drop_at)
         self._confirmed: set = set()
         self.packets_passed = 0
         self.packets_dropped = 0
@@ -83,8 +91,11 @@ class DeterministicMonitor:
             self.packets_passed += 1
             return True
         self.packets_dropped += 1
-        drops = self._drops.get(flow_label, 0) + 1
-        self._drops[flow_label] = drops
+        count, last_drop = self._drops.get(flow_label, (0, now))
+        if now - last_drop > self.confirmation_window:
+            count = 0  # stale history: the streak starts over
+        drops = count + 1
+        self._drops[flow_label] = (drops, now)
         if drops >= self.confirmation_drops and flow_label not in self._confirmed:
             self._confirmed.add(flow_label)
             if self.on_confirmed is not None:

@@ -86,6 +86,57 @@ class PacketFieldError(PacketError):
 
 
 # ---------------------------------------------------------------------------
+# Control-plane transport errors
+# ---------------------------------------------------------------------------
+
+
+class TransportError(ColibriError):
+    """A control-plane call failed at the transport layer (§3.3, §6.1).
+
+    Transport failures are *transient by definition*: the request or its
+    response was lost, delayed past its budget, or the peer is currently
+    unreachable.  They say nothing about admission — retrying is safe and
+    is exactly what :class:`repro.control.retry.RetryingCaller` does.
+    """
+
+
+class Unreachable(TransportError):
+    """The destination AS is partitioned away, flapping, not registered,
+    or the injected link dropped the request or response."""
+
+
+class CallTimeout(TransportError):
+    """The call's latency budget elapsed before the response arrived.
+
+    The handler may well have run (the response was merely late), so the
+    caller must treat the remote state as unknown — idempotent retries
+    and, on give-up, explicit cleanup restore the §3.3 invariant.
+    """
+
+
+class CircuitOpen(Unreachable):
+    """The circuit breaker for the destination AS is open: recent calls
+    failed persistently, so new calls fail fast instead of burning the
+    retry budget against a dead peer.
+
+    Subclasses :class:`Unreachable` (the peer is *presumed* unreachable)
+    and, like :class:`RetriesExhausted`, is terminal: upstream retriers
+    propagate it instead of retrying, so a dead AS deep in a path does
+    not trigger a multiplicative retry storm across every hop before it.
+    """
+
+
+class RetriesExhausted(Unreachable):
+    """A retrying caller used its whole attempt budget against one link.
+
+    Terminal for upstream retriers: the loss already got its retries at
+    the hop adjacent to it, where retrying is cheapest.  Re-retrying at
+    every upstream hop would multiply the attempt count exponentially
+    with path length — and charge each upstream breaker for a failure on
+    a link that is not theirs."""
+
+
+# ---------------------------------------------------------------------------
 # Reservation and admission errors
 # ---------------------------------------------------------------------------
 

@@ -419,3 +419,55 @@ class EerRenewalRequest(ControlMessage):
             new_version=self.new_version,
             grants=self.grants + (grant,),
         )
+
+
+# -- failure cleanup ------------------------------------------------------------
+
+
+@_register(9)
+@dataclass(frozen=True)
+class EerAbortNotice(ControlMessage):
+    """Initiator-issued cleanup of a failed EER setup or renewal (§3.3).
+
+    "In case of an unsuccessful request, the ASes clean up their
+    temporary reservations."  When a response is lost mid-path, some
+    on-path ASes have already committed the allocation; once the
+    initiator gives up retrying it aborts those hops explicitly.
+    ``version <= 1`` removes the whole EER; a higher version drops only
+    that renewal's state (older versions stay live, §4.2).
+    """
+
+    reservation: ReservationId
+    version: int
+
+    def _write_body(self, writer: Writer) -> None:
+        writer.raw(self.reservation.packed).u16(self.version)
+
+    @classmethod
+    def _read_body(cls, reader: Reader) -> "EerAbortNotice":
+        return cls(
+            reservation=ReservationId.unpack(reader.raw(12)), version=reader.u16()
+        )
+
+
+@_register(10)
+@dataclass(frozen=True)
+class SegAbortNotice(ControlMessage):
+    """Initiator-issued cleanup of a failed SegR setup or renewal (§3.3).
+
+    Same semantics as :class:`EerAbortNotice`, for segment reservations:
+    ``version <= 1`` removes the SegR entirely, a higher version drops
+    only the pending renewal version.
+    """
+
+    reservation: ReservationId
+    version: int
+
+    def _write_body(self, writer: Writer) -> None:
+        writer.raw(self.reservation.packed).u16(self.version)
+
+    @classmethod
+    def _read_body(cls, reader: Reader) -> "SegAbortNotice":
+        return cls(
+            reservation=ReservationId.unpack(reader.raw(12)), version=reader.u16()
+        )

@@ -101,6 +101,21 @@ class E2EReservation:
             )
         self._versions[version.version] = version
 
+    def drop_version(self, version_number: int) -> E2EVersion:
+        """Remove one version early — the abort path of a failed renewal
+        whose response was lost (§3.3 cleanup).  The base version (the
+        only one left) can never be dropped this way."""
+        if version_number not in self._versions:
+            raise VersionError(
+                f"EER {self.reservation_id} has no version {version_number}"
+            )
+        if len(self._versions) == 1:
+            raise VersionError(
+                f"cannot drop the only version of EER {self.reservation_id}; "
+                "abort the whole reservation instead"
+            )
+        return self._versions.pop(version_number)
+
     def prune(self, now: float) -> int:
         """Drop expired versions (keep at least the newest for bookkeeping)."""
         newest = max(self._versions)

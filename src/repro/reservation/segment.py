@@ -129,6 +129,21 @@ class SegmentReservation:
         self._active_version = version_number
         return version
 
+    def drop_pending(self, version_number: int) -> SegmentVersion:
+        """Remove a pending version early — the abort path of a failed
+        renewal whose response was lost (§3.3 cleanup).  Only pending
+        versions can be dropped; the active one stays untouched."""
+        version = self._versions.get(version_number)
+        if version is None:
+            raise VersionError(
+                f"SegR {self.reservation_id} has no version {version_number}"
+            )
+        if version.state is not VersionState.PENDING:
+            raise VersionError(
+                f"version {version_number} is {version.state.value}, not pending"
+            )
+        return self._versions.pop(version_number)
+
     def prune(self, now: float) -> int:
         """Drop retired and expired-pending versions; returns count removed."""
         stale = [

@@ -111,6 +111,18 @@ class ReservationStore:
         self._eers[res_id] = reservation
         self._record(lambda: self._eers.pop(res_id, None))
 
+    def remove_eer(self, res_id: ReservationId) -> E2EReservation:
+        """Early removal of an EER (abort of a failed setup, §3.3).
+
+        Only the EER record itself; the caller releases its per-SegR
+        allocations via :meth:`release_on_segment` so the cleanup is one
+        journaled transaction.
+        """
+        reservation = self.get_eer(res_id)
+        del self._eers[res_id]
+        self._record(lambda: self._eers.__setitem__(res_id, reservation))
+        return reservation
+
     def get_eer(self, res_id: ReservationId) -> E2EReservation:
         reservation = self._eers.get(res_id)
         if reservation is None:

@@ -93,7 +93,6 @@ class PortSim:
         Returns ``{label: output_gbps}``.
         """
         steps = int(round(duration / tick))
-        enqueue_labels: dict = {}
         for _step in range(steps):
             now = self.clock.now()
             for port, source, label in colibri_inputs:
@@ -104,8 +103,6 @@ class PortSim:
                     if result.verdict.is_drop:
                         self.router_drops[result.verdict] += 1
                         continue
-                    key = id(packet)
-                    enqueue_labels[key] = label
                     if self.scheduler.enqueue(size, TrafficClass.EER_DATA):
                         self._account_later(label, size)
             for port, source in best_effort_inputs:

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.control.cserv import ColibriService, EerHandle
-from repro.control.rpc import MessageBus
+from repro.control.rpc import FaultInjector, MessageBus
 from repro.crypto.drkey import DrkeyDeriver
 from repro.crypto.keyserver import KeyServer, KeyServerDirectory
 from repro.crypto.prf import prf
@@ -79,10 +79,11 @@ class ColibriNetwork:
         skew: Optional[Callable[[IsdAs], float]] = None,
         master_seed: bytes = DEFAULT_MASTER_SEED,
         host_acceptor: Optional[Callable] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.topology = topology
         self.clock = clock or SimClock(start=1000.0)
-        self.bus = MessageBus()
+        self.bus = MessageBus(faults=faults)
         self.directory = KeyServerDirectory(self.clock)
         self.beaconing = Beaconing(topology)
         self.path_lookup = PathLookup(self.beaconing)
@@ -110,6 +111,9 @@ class ColibriNetwork:
                 topology=topology,
                 gateway=gateway,
                 host_acceptor=host_acceptor,
+                # Retry backoff advances simulated time, so breaker
+                # reset windows and timeouts stay meaningful under test.
+                retry_sleeper=self.clock.advance,
             )
             router = BorderRouter(
                 isd_as,

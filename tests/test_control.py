@@ -437,7 +437,9 @@ class TestRenewalScheduler:
         (segr,) = net.reserve_segments(asid(1, 1), asid(2, 1), gbps(1))
         scheduler = RenewalScheduler(net.cserv(asid(1, 1)))
         scheduler.track_segment(segr.reservation_id, bandwidth=gbps(1))
-        assert scheduler.tick() == {"segments": 0, "eers": 0, "failures": 0}
+        assert scheduler.tick() == {
+            "segments": 0, "eers": 0, "failures": 0, "transient": 0
+        }
 
     def test_forecast_hook_used(self, net):
         (segr,) = net.reserve_segments(asid(1, 1), asid(2, 1), gbps(1))

@@ -334,6 +334,39 @@ class TestDeterministicMonitor:
         assert confirmed == [b"flow"]
         assert monitor.is_confirmed_overuser(b"flow")
 
+    def test_spaced_drops_never_confirm(self):
+        """§4.8: confirmation means *sustained* overuse — one stray
+        non-conforming packet per lifetime, collected over hours, must
+        not add up to a blocklisting."""
+        confirmed = []
+        monitor = DeterministicMonitor(
+            burst_seconds=0.01,
+            confirmation_drops=3,
+            confirmation_window=10.0,
+            on_confirmed=confirmed.append,
+        )
+        monitor.watch(b"flow", 8000.0, now=0.0)
+        for tick in range(6):
+            assert not monitor.check(b"flow", 100_000, now=tick * 11.0)
+        assert confirmed == []
+        assert not monitor.is_confirmed_overuser(b"flow")
+
+    def test_stale_streak_restarts_from_scratch(self):
+        confirmed = []
+        monitor = DeterministicMonitor(
+            burst_seconds=0.01,
+            confirmation_drops=3,
+            confirmation_window=10.0,
+            on_confirmed=confirmed.append,
+        )
+        monitor.watch(b"flow", 8000.0, now=0.0)
+        monitor.check(b"flow", 100_000, now=0.0)  # stray drop, long ago
+        monitor.check(b"flow", 100_000, now=20.0)  # streak restarts here
+        monitor.check(b"flow", 100_000, now=24.0)
+        assert confirmed == []  # 2 fresh drops, the stale one didn't count
+        monitor.check(b"flow", 100_000, now=28.0)
+        assert confirmed == [b"flow"]
+
     def test_single_burst_not_confirmed(self):
         monitor = DeterministicMonitor(confirmation_drops=3)
         monitor.watch(b"flow", 8000.0, now=0.0)

@@ -1,0 +1,556 @@
+"""Fault-injection suite: the §3.3 cleanup invariant under injected loss.
+
+Everything here is deterministic: loss patterns come from a seeded
+:class:`FaultInjector`, backoff jitter from per-AS seeded RNGs, and time
+from the simulation clock — re-running any test replays the exact same
+failure trace.
+
+The headline property (§3.3): under per-link call loss, every setup
+either *converges* through retries or *aborts* leaving exact-zero
+residual EER allocations in every on-path reservation store.
+"""
+
+import random
+
+import pytest
+
+from repro.control.distributed import DistributedCServ
+from repro.control.renewal import RenewalScheduler
+from repro.control.retry import (
+    CLEANUP_POLICY,
+    CircuitBreaker,
+    IdempotencyCache,
+    PolicyTable,
+    RetryingCaller,
+    RetryPolicy,
+)
+from repro.control.rpc import FaultInjector, LinkFaults, MessageBus, Unreachable
+from repro.errors import (
+    AdmissionDenied,
+    CallTimeout,
+    CircuitOpen,
+    RetriesExhausted,
+)
+from repro.sim import ColibriNetwork
+from repro.topology import IsdAs, build_two_isd_topology
+from repro.util.clock import SimClock
+from repro.util.units import gbps, mbps
+
+BASE = 0xFF00_0000_0000
+
+
+def asid(isd, index):
+    return IsdAs(isd, BASE + index)
+
+
+SRC = asid(1, 101)
+DST = asid(2, 101)
+#: The SRC -> DST path in the two-ISD topology (up + core + down).
+PATH = [SRC, asid(1, 11), asid(1, 1), asid(2, 1), asid(2, 11), DST]
+
+
+def lossy_network(faults=None):
+    net = ColibriNetwork(build_two_isd_topology(), faults=faults)
+    # Generous front door: these tests measure transport convergence,
+    # not the §5.3 rate limiter.
+    for isd_as in net.ases():
+        net.cserv(isd_as).request_limiter.rate = 1e9
+        net.cserv(isd_as).request_limiter.burst = 1e9
+    return net
+
+
+def allocation_snapshot(net):
+    """allocated_on_segment for every (AS, SegR) pair in the network."""
+    snapshot = {}
+    for isd_as in net.ases():
+        store = net.cserv(isd_as).store
+        for segr in store.segments():
+            snapshot[(isd_as, segr.reservation_id)] = store.allocated_on_segment(
+                segr.reservation_id
+            )
+    return snapshot
+
+
+# ---------------------------------------------------------------- injector --
+
+
+class TestLinkFaults:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            LinkFaults(request_loss=1.5)
+        with pytest.raises(ValueError):
+            LinkFaults(response_loss=-0.1)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            LinkFaults(latency=-1.0)
+
+
+class TestFaultInjector:
+    def test_lookup_most_specific_first(self):
+        injector = FaultInjector(seed=7)
+        exact = LinkFaults(request_loss=0.1)
+        to_dest = LinkFaults(request_loss=0.2)
+        from_caller = LinkFaults(request_loss=0.3)
+        fallback = LinkFaults(request_loss=0.4)
+        injector.set_link(SRC, DST, exact)
+        injector.set_link(None, DST, to_dest)
+        injector.set_link(SRC, None, from_caller)
+        injector.set_default(fallback)
+        assert injector.faults_for(SRC, DST) is exact
+        assert injector.faults_for(asid(1, 1), DST) is to_dest
+        assert injector.faults_for(SRC, asid(1, 1)) is from_caller
+        assert injector.faults_for(asid(1, 1), asid(2, 1)) is fallback
+
+    def test_flap_window(self):
+        injector = FaultInjector()
+        injector.flap(DST, start_call=5, duration_calls=3)
+        assert not injector.is_flapping(DST, 4)
+        assert injector.is_flapping(DST, 5)
+        assert injector.is_flapping(DST, 7)
+        assert not injector.is_flapping(DST, 8)
+        assert not injector.is_flapping(SRC, 6)
+
+    def test_draw_deterministic_per_seed(self):
+        a = FaultInjector(seed=42)
+        b = FaultInjector(seed=42)
+        draws_a = [a.draw(0.5) for _ in range(64)]
+        draws_b = [b.draw(0.5) for _ in range(64)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    def test_zero_probability_consumes_no_randomness(self):
+        injector = FaultInjector(seed=3)
+        for _ in range(10):
+            assert not injector.draw(0.0)
+        # The RNG stream is untouched: the next underlying sample is
+        # still the seed's very first one.
+        assert injector._rng.random() == random.Random(3).random()
+
+
+class _Echo:
+    """Minimal bus service for transport-level tests."""
+
+    def __init__(self):
+        self.handled = 0
+
+    def ping(self):
+        self.handled += 1
+        return "pong"
+
+
+class TestBusInjection:
+    def setup_method(self):
+        self.injector = FaultInjector(seed=0)
+        self.bus = MessageBus(faults=self.injector)
+        self.service = _Echo()
+        self.bus.register(DST, self.service)
+
+    def test_request_loss_skips_handler(self):
+        self.injector.set_link(SRC, DST, LinkFaults(request_loss=1.0))
+        with pytest.raises(Unreachable):
+            self.bus.call(DST, "ping", caller=SRC)
+        assert self.service.handled == 0
+        assert self.injector.injected["request_loss"] == 1
+
+    def test_response_loss_runs_handler(self):
+        self.injector.set_link(SRC, DST, LinkFaults(response_loss=1.0))
+        with pytest.raises(Unreachable):
+            self.bus.call(DST, "ping", caller=SRC)
+        assert self.service.handled == 1  # the destination committed
+        assert self.injector.injected["response_loss"] == 1
+
+    def test_latency_budget_raises_after_handler(self):
+        self.injector.set_link(SRC, DST, LinkFaults(latency=3.0))
+        with pytest.raises(CallTimeout):
+            self.bus.call(DST, "ping", caller=SRC, timeout=4.0)
+        assert self.service.handled == 1
+        assert self.bus.virtual_elapsed == pytest.approx(6.0)  # both legs
+
+    def test_latency_within_budget_passes(self):
+        self.injector.set_link(SRC, DST, LinkFaults(latency=1.0))
+        assert self.bus.call(DST, "ping", caller=SRC, timeout=4.0) == "pong"
+
+    def test_flap_then_recovery(self):
+        self.injector.flap(DST, start_call=1, duration_calls=2)
+        for _ in range(2):
+            with pytest.raises(Unreachable):
+                self.bus.call(DST, "ping", caller=SRC)
+        assert self.bus.call(DST, "ping", caller=SRC) == "pong"
+        assert self.injector.injected["flap"] == 2
+
+
+# ------------------------------------------------------------------- retry --
+
+
+class TestRetryPolicy:
+    def test_backoff_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.05, max_delay=1.0, multiplier=2.0)
+        delays = [policy.delay(a, random.Random(9)) for a in range(12)]
+        again = [policy.delay(a, random.Random(9)) for a in range(12)]
+        assert delays == again
+        for attempt, delay in enumerate(delays):
+            ceiling = min(1.0, 0.05 * 2.0**attempt)
+            assert ceiling / 2 <= delay <= ceiling
+
+    def test_cleanup_policy_bypasses_breaker(self):
+        assert CLEANUP_POLICY.use_breaker is False
+        assert CLEANUP_POLICY.max_attempts > RetryPolicy().max_attempts
+
+
+class TestCircuitBreaker:
+    def test_full_lifecycle(self):
+        clock = SimClock(start=0.0)
+        breaker = CircuitBreaker(clock, failure_threshold=2, reset_timeout=5.0)
+        breaker.allow()
+        breaker.record_failure()
+        breaker.allow()  # one failure: still closed
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpen):
+            breaker.allow()
+        clock.advance(5.0)
+        breaker.allow()  # half-open probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()  # probe failed: re-open immediately
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_circuit_open_is_unreachable(self):
+        # Initiators catching Unreachable must also see fast-fails.
+        assert issubclass(CircuitOpen, Unreachable)
+        assert issubclass(RetriesExhausted, Unreachable)
+
+
+class _FlakyBus:
+    """Scripted bus: raises the queued errors, then returns payloads."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = 0
+
+    def call(self, isd_as, method, *args, caller=None, timeout=None, **kwargs):
+        self.calls += 1
+        outcome = self.script.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def caller_over(script, **kwargs):
+    clock = SimClock(start=0.0)
+    bus = _FlakyBus(script)
+    return bus, RetryingCaller(bus, clock, SRC, sleeper=clock.advance, **kwargs)
+
+
+class TestRetryingCaller:
+    def test_retries_transient_then_succeeds(self):
+        bus, caller = caller_over([Unreachable("x"), Unreachable("x"), "ok"])
+        assert caller.call(DST, "handle_seg_setup") == "ok"
+        assert bus.calls == 3
+        assert caller.stats.retries == 2
+
+    def test_authoritative_errors_propagate_immediately(self):
+        bus, caller = caller_over([AdmissionDenied("no")])
+        with pytest.raises(AdmissionDenied):
+            caller.call(DST, "handle_seg_setup")
+        assert bus.calls == 1
+        assert caller.stats.retries == 0
+
+    def test_exhaustion_raises_retries_exhausted(self):
+        bus, caller = caller_over([Unreachable("x")] * 4)
+        with pytest.raises(RetriesExhausted):
+            caller.call(DST, "handle_seg_setup")
+        assert bus.calls == 4
+        assert caller.stats.gave_up == 1
+
+    def test_downstream_exhaustion_is_terminal(self):
+        """A RetriesExhausted from a hop further down the path must not
+        be retried here — that would multiply the attempt count by the
+        budget at every upstream hop — nor charged to this breaker."""
+        bus, caller = caller_over([RetriesExhausted("downstream")])
+        with pytest.raises(RetriesExhausted):
+            caller.call(DST, "handle_seg_setup")
+        assert bus.calls == 1
+        assert caller.breaker(DST).state == CircuitBreaker.CLOSED
+
+    def test_breaker_opens_and_fast_fails(self):
+        script = [Unreachable("x")] * 4 + ["never reached"]
+        bus, caller = caller_over(script, failure_threshold=4)
+        with pytest.raises(RetriesExhausted):
+            caller.call(DST, "handle_seg_setup")
+        with pytest.raises(CircuitOpen):
+            caller.call(DST, "handle_seg_setup")
+        assert bus.calls == 4  # the second call never touched the bus
+        assert caller.stats.fast_failed == 1
+
+    def test_cleanup_runs_through_open_breaker(self):
+        script = [Unreachable("x")] * 4 + ["cleaned"]
+        bus, caller = caller_over(script, failure_threshold=4)
+        with pytest.raises(RetriesExhausted):
+            caller.call(DST, "handle_seg_setup")
+        # handle_seg_abort maps to CLEANUP_POLICY (use_breaker=False):
+        # the abort must go out even though the breaker is open.
+        assert caller.call(DST, "handle_seg_abort") == "cleaned"
+
+    def test_backoff_deterministic_across_callers(self):
+        _, first = caller_over([Unreachable("x")] * 4)
+        _, second = caller_over([Unreachable("x")] * 4)
+        for caller in (first, second):
+            with pytest.raises(RetriesExhausted):
+                caller.call(DST, "handle_seg_setup")
+        assert first.stats.backoff_total == second.stats.backoff_total
+        assert first.stats.backoff_total > 0
+
+
+class TestIdempotencyCache:
+    def test_ttl_expiry(self):
+        clock = SimClock(start=0.0)
+        cache = IdempotencyCache(clock, ttl=10.0)
+        cache.put(("k",), "v")
+        assert cache.get(("k",)) == "v"
+        clock.advance(11.0)
+        assert cache.get(("k",)) is None
+
+    def test_size_bound_evicts_oldest(self):
+        cache = IdempotencyCache(SimClock(start=0.0), max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.put(("c",), 3)
+        assert cache.get(("a",)) is None
+        assert cache.get(("b",)) == 2
+        assert cache.get(("c",)) == 3
+
+    def test_invalidate_by_predicate(self):
+        cache = IdempotencyCache(SimClock(start=0.0))
+        cache.put(("setup", "r1", 1), "x")
+        cache.put(("setup", "r2", 1), "y")
+        assert cache.invalidate(lambda key: key[1] == "r1") == 1
+        assert cache.get(("setup", "r1", 1)) is None
+        assert cache.get(("setup", "r2", 1)) == "y"
+
+
+# ------------------------------------------------- end-to-end under faults --
+
+
+class TestResponseLossIdempotency:
+    def test_lost_response_does_not_double_admit(self):
+        """The adversarial case: the destination commits, the response
+        is lost, the retry must replay the cached answer — one
+        allocation, not two (§3.3)."""
+        # Random(1).random() = 0.134..., 0.847...: with response_loss=0.6
+        # the first response is lost and the second delivered.
+        injector = FaultInjector(seed=1)
+        net = lossy_network()
+        segrs = net.reserve_segments(SRC, DST, mbps(100))
+        injector.set_link(asid(2, 11), DST, LinkFaults(response_loss=0.6))
+        net.bus.install_faults(injector)
+
+        handle = net.establish_eer(SRC, DST, mbps(10))
+
+        assert handle.granted == pytest.approx(mbps(10))
+        assert injector.injected["response_loss"] == 1
+        dest = net.cserv(DST)
+        assert dest.idempotency.hits == 1  # the retry was served a replay
+        down_segr = [s for s in segrs if DST in s.segment.ases]
+        assert len(down_segr) == 1
+        allocated = dest.store.allocated_on_segment(down_segr[0].reservation_id)
+        assert allocated == pytest.approx(mbps(10))  # exactly once
+
+
+class TestAbortAfterExhaustion:
+    def test_committed_suffix_is_released(self):
+        """With every response on the last link lost, the destination
+        commits on attempt one; after the retry budget the initiator
+        must abort the whole path back to exact zero."""
+        injector = FaultInjector(seed=5)
+        net = lossy_network()
+        net.reserve_segments(SRC, DST, mbps(100))
+        injector.set_link(asid(2, 11), DST, LinkFaults(response_loss=1.0))
+        net.bus.install_faults(injector)
+        before = allocation_snapshot(net)
+
+        with pytest.raises(Unreachable):
+            net.establish_eer(SRC, DST, mbps(10))
+
+        assert net.cserv(SRC).aborts["eers"] == 1
+        assert net.cserv(SRC).aborts["undeliverable"] == 0
+        for isd_as in net.ases():
+            assert net.cserv(isd_as).store.eer_count() == 0
+        assert allocation_snapshot(net) == before
+        # The destination committed exactly once; replays served the rest.
+        assert net.cserv(DST).idempotency.hits >= 1
+
+    def test_service_recovers_after_faults_cleared(self):
+        injector = FaultInjector(seed=5)
+        net = lossy_network()
+        net.reserve_segments(SRC, DST, mbps(100))
+        injector.set_link(asid(2, 11), DST, LinkFaults(response_loss=1.0))
+        net.bus.install_faults(injector)
+        with pytest.raises(Unreachable):
+            net.establish_eer(SRC, DST, mbps(10))
+        net.bus.install_faults(None)
+        handle = net.establish_eer(SRC, DST, mbps(10))
+        assert handle.granted == pytest.approx(mbps(10))
+        assert net.send(SRC, handle, b"recovered").delivered
+
+
+class TestRollbackOnPartition:
+    def test_allocations_return_to_pre_request_values(self):
+        """Satellite of §3.3: a partition mid-setup rolls every on-path
+        store back to its *pre-request* allocation — which is non-zero
+        here, so this catches over-release as well as leaks."""
+        net = lossy_network()
+        net.reserve_segments(SRC, DST, mbps(100))
+        baseline_handle = net.establish_eer(SRC, DST, mbps(7))
+        assert baseline_handle.granted == pytest.approx(mbps(7))
+        before = allocation_snapshot(net)
+        assert any(value > 0 for value in before.values())
+
+        net.bus.partition(asid(2, 11))
+        with pytest.raises(Unreachable):
+            net.establish_eer(SRC, DST, mbps(10))
+        net.bus.heal(asid(2, 11))
+
+        assert allocation_snapshot(net) == before
+        for isd_as in net.ases():
+            assert net.cserv(isd_as).store.eer_count() == (
+                1 if isd_as in PATH else 0
+            )
+
+
+class TestLossyConvergence:
+    LOSS = LinkFaults(request_loss=0.12, response_loss=0.08)  # ~20 % per call
+
+    def run_batch(self, seed, setups):
+        injector = FaultInjector(seed=seed)
+        injector.set_default(self.LOSS)
+        net = lossy_network()
+        net.reserve_segments(SRC, DST, gbps(1))
+        net.bus.install_faults(injector)
+        outcomes = []
+        for _ in range(setups):
+            before = allocation_snapshot(net)
+            try:
+                handle = net.establish_eer(SRC, DST, mbps(1))
+            except Unreachable:
+                # A failed setup must leave *exact-zero* residue at
+                # every hop — not approximately, not "until expiry".
+                assert allocation_snapshot(net) == before
+                outcomes.append(False)
+            else:
+                assert handle.granted == pytest.approx(mbps(1))
+                outcomes.append(True)
+        return net, injector, outcomes
+
+    def test_99_percent_converge_at_20_percent_loss(self):
+        net, injector, outcomes = self.run_batch(seed=2024, setups=150)
+        successes = sum(outcomes)
+        assert successes / len(outcomes) >= 0.99
+        # The loss plan really fired (this is not a trivially clean run).
+        assert injector.injected["request_loss"] > 0
+        assert injector.injected["response_loss"] > 0
+        retries = sum(
+            net.cserv(isd_as).caller.stats.retries for isd_as in net.ases()
+        )
+        assert retries > 0
+
+    def test_reproducible_from_fixed_seed(self):
+        _, injector_a, outcomes_a = self.run_batch(seed=99, setups=40)
+        _, injector_b, outcomes_b = self.run_batch(seed=99, setups=40)
+        assert outcomes_a == outcomes_b
+        assert dict(injector_a.injected) == dict(injector_b.injected)
+
+    def test_different_seed_different_trace(self):
+        _, injector_a, _ = self.run_batch(seed=1, setups=20)
+        _, injector_b, _ = self.run_batch(seed=2, setups=20)
+        assert dict(injector_a.injected) != dict(injector_b.injected)
+
+
+class TestFlapConvergence:
+    def test_setup_rides_out_a_brief_flap(self):
+        injector = FaultInjector(seed=11)
+        net = lossy_network()
+        net.reserve_segments(SRC, DST, mbps(100))
+        # Warm the remote descriptor cache so the next setup's first bus
+        # call is the forward to the first hop — the flap window below is
+        # keyed to bus call numbers and must land on that chain.
+        net.establish_eer(SRC, DST, mbps(10))
+        net.bus.install_faults(injector)
+        # Two consecutive calls to the first-hop AS fail; the retry
+        # budget (4) covers the outage.
+        injector.flap(asid(1, 11), net.bus.calls + 1, 2)
+        handle = net.establish_eer(SRC, DST, mbps(10))
+        assert handle.granted == pytest.approx(mbps(10))
+        assert injector.injected["flap"] >= 1
+
+
+# ----------------------------------------------------- renewal under churn --
+
+
+class TestRenewalSchedulerRobustness:
+    def test_vanished_eer_is_untracked(self):
+        net = lossy_network()
+        net.reserve_segments(SRC, DST, mbps(100))
+        handle = net.establish_eer(SRC, DST, mbps(10))
+        scheduler = RenewalScheduler(net.cserv(SRC))
+        scheduler.track_eer(handle)
+        # The reservation disappears underneath the scheduler (abort).
+        net.cserv(SRC)._abort_eer(handle.reservation_id, 1, handle.hops)
+        net.clock.advance(14.0)  # well inside the renewal lead window
+        ticks = scheduler.tick()
+        assert ticks == {"segments": 0, "eers": 0, "failures": 0, "transient": 0}
+        with pytest.raises(KeyError):
+            scheduler.eer_handle(handle.reservation_id)
+
+    def test_transient_failure_keeps_tracking(self):
+        net = lossy_network()
+        net.reserve_segments(SRC, DST, mbps(100))
+        handle = net.establish_eer(SRC, DST, mbps(10))
+        scheduler = RenewalScheduler(net.cserv(SRC), eer_lead=6.0)
+        scheduler.track_eer(handle)
+        net.clock.advance(10.5)  # inside the lead window, before expiry
+        net.bus.partition(DST)
+        ticks = scheduler.tick()
+        assert ticks["transient"] == 1
+        assert ticks["failures"] == 0
+        assert scheduler.eer_handle(handle.reservation_id) is handle
+        net.bus.heal(DST)
+        net.clock.advance(1.5)  # respect the per-EER renewal rate limit
+        ticks = scheduler.tick()
+        assert ticks["eers"] == 1
+        renewed = scheduler.eer_handle(handle.reservation_id)
+        assert renewed.res_info.version > handle.res_info.version
+
+
+# ------------------------------------------------------- distributed CServ --
+
+
+class TestDistributedPassthroughs:
+    def test_teardown_traverses_distributed_as(self):
+        net = lossy_network()
+        segrs = net.reserve_segments(SRC, DST, mbps(100))
+        DistributedCServ(net.cserv(asid(2, 11)), eer_workers=2)
+        down = [s for s in segrs if asid(2, 11) in s.segment.ases and DST in s.segment.ases]
+        assert len(down) == 1
+        res_id = down[0].reservation_id
+        net.cserv(asid(2, 1)).teardown_segment(res_id)
+        for isd_as in (asid(2, 1), asid(2, 11), DST):
+            assert not net.cserv(isd_as).store.has_segment(res_id)
+
+    def test_abort_routes_through_distributed_as(self):
+        injector = FaultInjector(seed=5)
+        net = lossy_network()
+        net.reserve_segments(SRC, DST, mbps(100))
+        distributed = DistributedCServ(net.cserv(asid(2, 11)), eer_workers=2)
+        injector.set_link(asid(2, 11), DST, LinkFaults(response_loss=1.0))
+        net.bus.install_faults(injector)
+        with pytest.raises(Unreachable):
+            net.establish_eer(SRC, DST, mbps(10))
+        for isd_as in net.ases():
+            assert net.cserv(isd_as).store.eer_count() == 0
+        # The abort really went through a sharded worker, not the parent.
+        assert sum(worker.handled for worker in distributed.eer_workers) > 0
