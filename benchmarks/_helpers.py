@@ -8,10 +8,22 @@ EXPERIMENTS.md can reference them.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import time
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmark_results")
+
+
+def quick_mode() -> bool:
+    """Whether the bench should run its reduced CI-smoke configuration.
+
+    Set ``COLIBRI_BENCH_QUICK=1`` (the CI ``bench-smoke`` job does) to
+    shrink sweep axes and durations: the numbers are not publication
+    grade, but every code path still runs end to end.
+    """
+    return os.environ.get("COLIBRI_BENCH_QUICK", "") not in ("", "0")
 
 
 def report(name: str, title: str, lines: list) -> None:
@@ -21,6 +33,26 @@ def report(name: str, title: str, lines: list) -> None:
     print("\n" + body)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(body)
+
+
+def report_json(name: str, bench: str, rows: list) -> None:
+    """Persist machine-readable results as ``BENCH_<name>.json``.
+
+    ``rows`` is a list of ``{"config": {...}, "pps": float}`` entries.
+    The run id is a content hash of the bench name, configs, and rates —
+    deliberately timestamp-free so re-running identical code on
+    identical inputs produces an identical file (the diff, not a clock,
+    says whether performance changed).
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {"bench": bench, "results": rows}
+    digest = hashlib.blake2s(
+        json.dumps(payload, sort_keys=True).encode("utf-8"), digest_size=8
+    ).hexdigest()
+    payload["run_id"] = digest
+    with open(os.path.join(RESULTS_DIR, f"BENCH_{name}.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def time_per_call(fn, repeat: int = 200, number: int = 1) -> float:

@@ -5,16 +5,31 @@ decompose into these operations.  The paper's prototype uses AES-NI
 (~100M ops/s/core); our keyed-BLAKE2s substitution runs at Python speed,
 which is exactly the ~10^3x scale factor between our kpps and the
 paper's Mpps (DESIGN.md §2).
+
+The prehashed-context rows quantify the batch fast path's core trick:
+paying the per-key BLAKE2s key schedule once (at install or on a σ-cache
+hit) and cloning the hash state per message, versus re-keying on every
+MAC.  The 16-hop stamp rows are the exact inner loop of Fig. 5's
+worst-case column, in both cold (re-keyed) and warm (prehashed) form.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _helpers import report, throughput
+from _helpers import quick_mode, report, report_json, throughput
 from repro.crypto import aead_open, aead_seal, mac, prf, truncated_mac
 from repro.crypto.drkey import DrkeyDeriver
-from repro.dataplane.hvf import eer_hvf, hop_authenticator, segment_token
+from repro.crypto.mac import KeyedMacContext
+from repro.dataplane.hvf import (
+    eer_hvf,
+    eer_hvf_message,
+    hop_authenticator,
+    segment_token,
+    sigma_states,
+    stamp_hvfs,
+    stamp_hvfs_direct,
+)
 from repro.packets.fields import EerInfo, ResInfo, Timestamp
 from repro.reservation.ids import ReservationId
 from repro.topology.addresses import HostAddr, IsdAs
@@ -29,6 +44,12 @@ EER = EerInfo(HostAddr(1), HostAddr(2))
 TS = Timestamp(123456, 0)
 SEALED = aead_seal(KEY, b"sigma" * 3)
 
+# The Fig. 5 worst-case inner loop: 16 on-path σs, one shared message.
+SIGMAS_16 = tuple(bytes([i + 1]) * 16 for i in range(16))
+STATES_16 = sigma_states(SIGMAS_16)
+CTX = KeyedMacContext(KEY)
+MSG = eer_hvf_message(TS, 600)
+
 
 @pytest.mark.benchmark(group="crypto")
 def test_crypto_micro(benchmark):
@@ -41,19 +62,30 @@ def test_crypto_micro(benchmark):
         "SegR token (Eq. 3)": lambda: segment_token(KEY, RES_INFO, 2, 3),
         "HopAuth (Eq. 4)": lambda: hop_authenticator(KEY, RES_INFO, EER, 2, 3),
         "EER HVF (Eq. 6)": lambda: eer_hvf(KEY, TS, 600),
+        "EER HVF (prehashed ctx)": lambda: CTX.truncated(MSG),
+        "16-hop stamp (re-keyed)": lambda: stamp_hvfs_direct(SIGMAS_16, MSG),
+        "16-hop stamp (prehashed)": lambda: stamp_hvfs(STATES_16, MSG),
         "AEAD seal (Eq. 5)": lambda: aead_seal(KEY, b"sigma" * 3),
         "AEAD open (Eq. 5)": lambda: aead_open(KEY, SEALED),
     }
+    duration = 0.02 if quick_mode() else 0.1
     lines = [f"{'operation':<26} | {'ops/s':>12}"]
     rates = {}
+    json_rows = []
     for name, op in operations.items():
-        rate = throughput(op, duration=0.1)
+        rate = throughput(op, duration=duration)
         rates[name] = rate
         lines.append(f"{name:<26} | {rate:>12,.0f}")
+        json_rows.append({"config": {"operation": name}, "pps": round(rate, 1)})
     report("crypto_micro", "Cryptographic primitive rates (one core)", lines)
+    report_json("crypto_micro", "crypto_primitive_rates", json_rows)
 
     # Sanity ordering: Eq. 6 (one truncated MAC over 12 bytes) must be
     # the cheapest of the protocol operations; Eq. 4 costs about one MAC.
     assert rates["EER HVF (Eq. 6)"] >= rates["HopAuth (Eq. 4)"] * 0.8
     assert rates["AEAD seal (Eq. 5)"] < rates["MAC (full)"]
+    # The batch fast path's premise: cloning a prehashed state beats
+    # re-running the key schedule, per HVF and across a 16-hop stamp.
+    assert rates["EER HVF (prehashed ctx)"] > rates["EER HVF (Eq. 6)"]
+    assert rates["16-hop stamp (prehashed)"] > rates["16-hop stamp (re-keyed)"]
     benchmark(operations["EER HVF (Eq. 6)"])

@@ -18,6 +18,8 @@ from repro.dataplane.ofd import OveruseFlowDetector
 from repro.dataplane.queueing import PriorityScheduler, TrafficClass
 from repro.dataplane.router import BorderRouter
 from repro.dataplane.sample_hold import SampleAndHoldDetector
+from repro.dataplane.shards import ShardExecutor, shard_of
+from repro.dataplane.sigma_cache import SigmaCache
 from repro.dataplane.token_bucket import TokenBucket
 
 __all__ = [
@@ -29,6 +31,9 @@ __all__ = [
     "verify_eer_hvf",
     "ColibriGateway",
     "BorderRouter",
+    "SigmaCache",
+    "ShardExecutor",
+    "shard_of",
     "TokenBucket",
     "DuplicateSuppressor",
     "OveruseFlowDetector",

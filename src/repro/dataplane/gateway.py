@@ -16,17 +16,28 @@ version number, so a renewal installs a fresh HopAuth set.  The gateway
 stamps packets with the latest live version (§4.2) while the monitor
 keys on the reservation ID alone, so using several versions can never
 exceed the maximum version bandwidth (§4.8).
+
+Fast-path engineering (docs/performance.md): the latest live version and
+the effective bandwidth are cached per reservation and invalidated on
+install/uninstall/expiry; installation prehashes one MAC state per
+on-path σ — key scheduling at control-plane time, like expanding AES
+round keys at setup — so Eq. (6) stamping costs three C calls per hop;
+and :meth:`ColibriGateway.send_batch` amortizes the clock read over a
+burst.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
 
-from repro.dataplane.hvf import eer_hvf
+from repro.dataplane.hvf import sigma_states, stamp_hvfs
 from repro.dataplane.monitor import DeterministicMonitor
 from repro.errors import (
     BandwidthExceeded,
+    DataPlaneError,
+    ReservationError,
     ReservationExpired,
     ReservationNotFound,
 )
@@ -36,6 +47,15 @@ from repro.reservation.ids import ReservationId
 from repro.topology.addresses import IsdAs
 from repro.util.clock import Clock
 
+#: A stamped packet, or the error that dropped the request (send_batch).
+SendOutcome = Union[ColibriPacket, ReservationError, DataPlaneError]
+
+#: The Eq. (6) MAC input ``Ts || PktSize`` in one struct: byte-identical
+#: to ``eer_hvf_message(Timestamp(micros, seq), size)`` (``!Q`` of the
+#: packed Ts word followed by ``!I`` of PktSize), built with a single C
+#: call on the send fast path.
+_HVF_MESSAGE = struct.Struct("!QI")
+
 
 @dataclass
 class GatewayVersion:
@@ -43,6 +63,11 @@ class GatewayVersion:
 
     res_info: ResInfo
     hop_auths: tuple  # one sigma_i per on-path AS, in path order
+    #: Prehashed Eq. (6) MAC states, one per σ.  :meth:`ColibriGateway.install`
+    #: builds them at control-plane time — the software analogue of
+    #: expanding AES round keys at setup — so no data packet ever pays a
+    #: key schedule.  Not part of the version's identity and not picklable.
+    _states: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     @property
     def version(self) -> int:
@@ -55,6 +80,22 @@ class GatewayVersion:
     def is_live(self, now: float) -> bool:
         return now < self.res_info.expiry
 
+    def states(self) -> tuple:
+        """Prehashed σ states (one per hop), built on first demand for
+        versions not installed through :meth:`ColibriGateway.install`."""
+        states = self._states
+        if states is None:
+            states = sigma_states(self.hop_auths)
+            self._states = states
+        return states
+
+    def stamp(self, message: bytes) -> list:
+        """All per-hop HVFs (Eq. 6) of one packet over ``message``."""
+        states = self._states
+        if states is None:
+            states = self.states()
+        return stamp_hvfs(states, message)
+
 
 @dataclass
 class GatewayReservation:
@@ -64,16 +105,51 @@ class GatewayReservation:
     path: PathField
     eer_info: EerInfo
     versions: dict  # version number -> GatewayVersion
+    #: Header bytes of every packet on this EER (fixed by path length).
+    header_size: int = 0
+    #: ``reservation_id.packed``, computed once: the monitor's flow label
+    #: and part of every replay identifier — packing 12 bytes per packet
+    #: would shadow the MAC cost on short paths.
+    packed_id: bytes = b""
+    #: ``(micros, sequence)`` of the latest stamped packet, for Ts
+    #: uniqueness (kept here so the fast path does not hash the
+    #: ReservationId a second time against a side table).
+    last_micros: Optional[tuple] = field(default=None, repr=False, compare=False)
+    # Soft per-reservation caches, invalidated on install/uninstall and
+    # (for expiry-driven changes) by refresh_monitor; latest_live also
+    # self-invalidates the moment the cached version stops being live.
+    _latest: Optional[GatewayVersion] = field(default=None, repr=False, compare=False)
+    _bandwidth: Optional[tuple] = field(default=None, repr=False, compare=False)
+
+    def invalidate_caches(self) -> None:
+        self._latest = None
+        self._bandwidth = None
 
     def latest_live(self, now: float) -> Optional[GatewayVersion]:
+        cached = self._latest
+        if cached is not None and now < cached.res_info.expiry:
+            return cached
         live = [v for v in self.versions.values() if v.is_live(now)]
-        return max(live, key=lambda v: v.version) if live else None
+        latest = max(live, key=lambda v: v.version) if live else None
+        # Installing a higher version invalidates, and expiry is checked
+        # above, so the cached answer can never outlive its validity.
+        self._latest = latest
+        return latest
 
     def effective_bandwidth(self, now: float) -> float:
-        return max(
-            (v.res_info.bandwidth for v in self.versions.values() if v.is_live(now)),
-            default=0.0,
-        )
+        cached = self._bandwidth
+        if cached is not None and now < cached[1]:
+            return cached[0]
+        live = [v for v in self.versions.values() if v.is_live(now)]
+        if not live:
+            self._bandwidth = None
+            return 0.0
+        value = max(v.res_info.bandwidth for v in live)
+        # Valid until the first live version expires: only an expiry (or
+        # an install, which invalidates) can change the live set.
+        valid_until = min(v.res_info.expiry for v in live)
+        self._bandwidth = (value, valid_until)
+        return value
 
 
 class ColibriGateway:
@@ -84,7 +160,6 @@ class ColibriGateway:
         self.clock = clock
         self.monitor = monitor or DeterministicMonitor()
         self._reservations: dict[ReservationId, GatewayReservation] = {}
-        self._last_micros: dict[ReservationId, tuple] = {}  # (micros, seq)
         self.packets_sent = 0
         self.packets_dropped = 0
 
@@ -114,20 +189,27 @@ class ColibriGateway:
                 path=path,
                 eer_info=eer_info,
                 versions={},
+                header_size=ColibriPacket.header_size_for(len(path)),
+                packed_id=reservation_id.packed,
             )
             self._reservations[reservation_id] = entry
-        entry.versions[res_info.version] = GatewayVersion(
-            res_info=res_info, hop_auths=tuple(hop_auths)
-        )
-        # (Re-)arm the deterministic monitor at the new effective bandwidth.
+        version = GatewayVersion(res_info=res_info, hop_auths=tuple(hop_auths))
+        # Pay the per-σ key schedules now, at control-plane rate: every
+        # data packet of this version then stamps from prehashed states.
+        version.states()
+        entry.versions[res_info.version] = version
+        entry.invalidate_caches()
+        # (Re-)arm the deterministic monitor at the new effective
+        # bandwidth, and prime the latest-live cache so a reservation's
+        # first data packet takes the same path as its millionth.
         now = self.clock.now()
-        self.monitor.watch(
-            reservation_id.packed, entry.effective_bandwidth(now), now
-        )
+        entry.latest_live(now)
+        self.monitor.watch(entry.packed_id, entry.effective_bandwidth(now), now)
 
     def uninstall(self, reservation_id: ReservationId) -> None:
-        self._reservations.pop(reservation_id, None)
-        self._last_micros.pop(reservation_id, None)
+        entry = self._reservations.pop(reservation_id, None)
+        if entry is not None:
+            entry.invalidate_caches()
         self.monitor.unwatch(reservation_id.packed)
 
     def reservation_count(self) -> int:
@@ -138,15 +220,6 @@ class ColibriGateway:
 
     # -- the per-packet fast path (§4.6) ------------------------------------------
 
-    def _timestamp(self, reservation_id: ReservationId, expiry: float, now: float) -> Timestamp:
-        """Unique Ts per packet: microseconds before expiry + sequence
-        counter for packets created in the same microsecond."""
-        micros = int((expiry - now) * 1e6)
-        last = self._last_micros.get(reservation_id)
-        sequence = last[1] + 1 if last is not None and last[0] == micros else 0
-        self._last_micros[reservation_id] = (micros, sequence)
-        return Timestamp(micros, sequence)
-
     def send(self, reservation_id: ReservationId, payload: bytes) -> ColibriPacket:
         """Process one packet from a local end host.
 
@@ -155,37 +228,78 @@ class ColibriGateway:
         Payload").  Returns the fully stamped packet ready for the border
         router, or raises — a raise is a drop.
         """
+        return self._send_one(reservation_id, payload, self.clock.now())
+
+    def send_batch(self, requests) -> List[SendOutcome]:
+        """Stamp a burst of ``(reservation_id, payload)`` requests.
+
+        Semantically identical to calling :meth:`send` per request, in
+        order — same packets, same monitor accounting, same counters —
+        except that drops come back as error *values* (aligned with their
+        request) instead of raised exceptions, and the clock is read once
+        for the whole burst, the fixed cost the paper's DPDK gateway
+        amortizes across NIC bursts.
+        """
         now = self.clock.now()
+        send_one = self._send_one
+        outcomes: List[SendOutcome] = []
+        append = outcomes.append
+        for reservation_id, payload in requests:
+            try:
+                append(send_one(reservation_id, payload, now))
+            except (ReservationError, DataPlaneError) as error:
+                append(error)
+        return outcomes
+
+    def _send_one(
+        self, reservation_id: ReservationId, payload: bytes, now: float
+    ) -> ColibriPacket:
         entry = self._reservations.get(reservation_id)
         if entry is None:
             self.packets_dropped += 1
             raise ReservationNotFound(f"gateway has no EER {reservation_id}")
-        version = entry.latest_live(now)
-        if version is None:
-            self.packets_dropped += 1
-            raise ReservationExpired(f"all versions of EER {reservation_id} expired")
+        # Inline of entry.latest_live(now)'s hit path — one attribute read
+        # and one float compare per packet; the miss path (expiry or fresh
+        # install) takes the full recompute.
+        version = entry._latest
+        if version is None or now >= version.res_info.expiry:
+            version = entry.latest_live(now)
+            if version is None:
+                self.packets_dropped += 1
+                raise ReservationExpired(
+                    f"all versions of EER {reservation_id} expired"
+                )
+        res_info = version.res_info
+
+        # Unique Ts per packet (§4.3): microseconds before expiry plus a
+        # sequence counter for packets created in the same microsecond.
+        micros = int((res_info.expiry - now) * 1e6)
+        last = entry.last_micros
+        sequence = last[1] + 1 if last is not None and last[0] == micros else 0
+        entry.last_micros = (micros, sequence)
+        timestamp = Timestamp(micros, sequence)
 
         # Deterministic monitoring before stamping: a non-conforming
-        # packet is dropped and never authorized.
-        timestamp = self._timestamp(reservation_id, version.expiry, now)
-        packet = ColibriPacket(
-            packet_type=PacketType.EER_DATA,
-            path=entry.path,
-            res_info=version.res_info,
-            timestamp=timestamp,
-            hvfs=[ColibriPacket.EMPTY_HVF] * len(entry.path),
-            eer_info=entry.eer_info,
-            payload=payload,
-        )
-        size = packet.total_size
-        if not self.monitor.check(reservation_id.packed, size, now):
+        # packet is dropped and never authorized.  PktSize is known from
+        # the path geometry alone, so the drop path never builds a packet.
+        size = entry.header_size + len(payload)
+        if not self.monitor.check(entry.packed_id, size, now):
             self.packets_dropped += 1
             raise BandwidthExceeded(
                 f"EER {reservation_id} exceeded its reserved rate"
             )
-        packet.hvfs = [
-            eer_hvf(sigma, timestamp, size) for sigma in version.hop_auths
-        ]
+        message = _HVF_MESSAGE.pack(
+            (micros << Timestamp._SEQ_BITS) | sequence, size
+        )
+        packet = ColibriPacket.trusted(
+            PacketType.EER_DATA,
+            entry.path,
+            res_info,
+            timestamp,
+            version.stamp(message),
+            entry.eer_info,
+            payload,
+        )
         self.packets_sent += 1
         return packet
 
@@ -196,5 +310,22 @@ class ColibriGateway:
         entry = self._reservations.get(reservation_id)
         if entry is None:
             return
+        entry.invalidate_caches()
         now = self.clock.now()
-        self.monitor.watch(reservation_id.packed, entry.effective_bandwidth(now), now)
+        self.monitor.watch(entry.packed_id, entry.effective_bandwidth(now), now)
+
+
+def split_batch(outcomes: List[SendOutcome]) -> Tuple[list, list]:
+    """Partition :meth:`ColibriGateway.send_batch` outcomes.
+
+    Returns ``(packets, drops)`` where drops are ``(index, error)`` pairs
+    in request order.
+    """
+    packets = []
+    drops = []
+    for index, outcome in enumerate(outcomes):
+        if isinstance(outcome, ColibriPacket):
+            packets.append(outcome)
+        else:
+            drops.append((index, outcome))
+    return packets, drops

@@ -31,8 +31,8 @@ import struct
 
 from repro.constants import L_HVF
 from repro.crypto.drkey import DrkeyDeriver, EntityId
-from repro.crypto.mac import constant_time_equal, mac, truncated_mac
-from repro.crypto.prf import prf
+from repro.crypto.mac import KeyedMacContext, constant_time_equal, mac, truncated_mac
+from repro.crypto.prf import prf, prf_context, prf_under_keys
 from repro.errors import HvfMismatch
 from repro.packets.fields import EerInfo, ResInfo, Timestamp
 
@@ -80,6 +80,67 @@ def eer_hvf(hop_auth: bytes, timestamp: Timestamp, packet_size: int) -> bytes:
     packets and what lets the OFD normalize fairly (§4.8).
     """
     return truncated_mac(hop_auth, timestamp.packed + _SIZE.pack(packet_size), L_HVF)
+
+
+def eer_hvf_message(timestamp: Timestamp, packet_size: int) -> bytes:
+    """The MAC input of Eq. (6), ``Ts || PktSize``.
+
+    One packet carries the same (Ts, PktSize) to every on-path AS, so the
+    batch fast paths build these bytes once per packet and reuse them for
+    all hops instead of re-packing them per HVF.
+    """
+    return timestamp.packed + _SIZE.pack(packet_size)
+
+
+def sigma_context(hop_auth: bytes) -> KeyedMacContext:
+    """Prehashed Eq. (6) MAC state under one HopAuth σ.
+
+    ``sigma_context(s).truncated(eer_hvf_message(ts, n))`` equals
+    ``eer_hvf(s, ts, n)`` byte for byte; the context only amortizes the
+    per-σ key schedule across packets (gateway) or cache hits (router).
+    """
+    return KeyedMacContext(hop_auth)
+
+
+def sigma_states(hop_auths) -> tuple:
+    """Raw prehashed Eq. (6) MAC states, one per HopAuth σ, path order.
+
+    The gateway's stamp tables: bare ``blake2s`` objects rather than
+    :class:`KeyedMacContext` wrappers, so the Fig. 5 hot loop
+    (:func:`stamp_hvfs`) pays no attribute hop per HVF.  Built once per
+    installed version — key scheduling happens at control-plane time,
+    the software analogue of expanding AES round keys at setup.
+    """
+    return tuple(prf_context(sigma) for sigma in hop_auths)
+
+
+def stamp_hvfs(states, message: bytes, length: int = L_HVF) -> list:
+    """Eq. (6) across all hops of one packet: the gateway's batch stamp.
+
+    ``states`` holds one prehashed σ state per on-path AS (from
+    :func:`sigma_states`); the shared ``message`` is
+    :func:`eer_hvf_message`'s output.  Inlined clone/update/digest keeps
+    the per-hop cost to three C calls — this loop is the dominant term
+    of Fig. 5's long-path columns.
+    """
+    hvfs = []
+    append = hvfs.append
+    for state in states:
+        clone = state.copy()
+        clone.update(message)
+        append(clone.digest()[:length])
+    return hvfs
+
+
+def stamp_hvfs_direct(hop_auths, message: bytes, length: int = L_HVF) -> list:
+    """Eq. (6) across all hops from raw σs, one C call per hop.
+
+    The cold-path counterpart of :func:`stamp_hvfs` for versions whose
+    prehashed contexts have not been built (e.g. a table of 2^17 mostly
+    idle reservations hit with random IDs — Fig. 5's worst case, where
+    paying a key schedule per packet would be pure loss).
+    """
+    return [tag[:length] for tag in prf_under_keys(hop_auths, message)]
 
 
 def verify_eer_hvf(

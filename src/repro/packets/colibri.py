@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Optional
+from typing import ClassVar, Optional
 
 from repro.constants import L_HVF
 from repro.errors import PacketDecodeError, PacketFieldError
@@ -110,6 +110,37 @@ class ColibriPacket:
             payload=payload,
         )
 
+    @classmethod
+    def trusted(
+        cls,
+        packet_type: int,
+        path: PathField,
+        res_info: ResInfo,
+        timestamp: Timestamp,
+        hvfs: list,
+        eer_info: Optional[EerInfo] = None,
+        payload: bytes = b"",
+    ) -> "ColibriPacket":
+        """Construct without re-running ``__post_init__`` validation.
+
+        For components that computed every field themselves and already
+        guarantee the invariants — the gateway stamps exactly one
+        ``L_HVF``-byte HVF per hop by construction, so re-checking each
+        on the Fig. 5 fast path is pure overhead.  Anything built from
+        external input (``from_bytes``, hosts, tests) must use the
+        normal validating constructor.
+        """
+        packet = object.__new__(cls)
+        packet.packet_type = packet_type
+        packet.path = path
+        packet.res_info = res_info
+        packet.timestamp = timestamp
+        packet.hvfs = hvfs
+        packet.eer_info = eer_info
+        packet.payload = payload
+        packet.hop_index = 0
+        return packet
+
     # -- properties -----------------------------------------------------------
 
     @property
@@ -120,23 +151,51 @@ class ColibriPacket:
     def is_eer_data(self) -> bool:
         return self.packet_type == PacketType.EER_DATA
 
+    #: Memoized ``(hop_count, is_eer_data) -> header bytes``.  Header
+    #: sizes are pure arithmetic over a handful of hop counts, and the
+    #: router reads ``total_size`` once per validated packet (PktSize,
+    #: Eq. 6), so the table turns that into one dict probe.
+    _HEADER_SIZES: ClassVar[dict] = {}
+
+    @staticmethod
+    def header_size_for(hop_count: int, is_eer_data: bool = True) -> int:
+        """Header bytes of a packet with ``hop_count`` hops.
+
+        The header size depends only on hop count and packet type, so the
+        gateway computes it once per reservation instead of per packet —
+        PktSize (Eq. 6) must be known *before* the packet object exists
+        for the monitor to reject non-conforming traffic cheaply.
+        """
+        key = (hop_count, is_eer_data)
+        size = ColibriPacket._HEADER_SIZES.get(key)
+        if size is None:
+            eer = EerInfo.SIZE if is_eer_data else 0
+            size = (
+                _FIXED.size
+                + hop_count * PathField.WIRE_PAIR.size
+                + ResInfo.SIZE
+                + eer
+                + Timestamp.SIZE
+                + hop_count * L_HVF
+                + _PAYLOAD_LEN.size
+            )
+            ColibriPacket._HEADER_SIZES[key] = size
+        return size
+
     @property
     def header_size(self) -> int:
-        eer = EerInfo.SIZE if self.is_eer_data else 0
-        return (
-            _FIXED.size
-            + len(self.path) * PathField.WIRE_PAIR.size
-            + ResInfo.SIZE
-            + eer
-            + Timestamp.SIZE
-            + len(self.path) * L_HVF
-            + _PAYLOAD_LEN.size
-        )
+        key = (len(self.path), self.packet_type == PacketType.EER_DATA)
+        size = self._HEADER_SIZES.get(key)
+        return size if size is not None else self.header_size_for(*key)
 
     @property
     def total_size(self) -> int:
         """Packet size including the Colibri header — the PktSize of Eq. (6)."""
-        return self.header_size + len(self.payload)
+        key = (len(self.path), self.packet_type == PacketType.EER_DATA)
+        size = self._HEADER_SIZES.get(key)
+        if size is None:
+            size = self.header_size_for(*key)
+        return size + len(self.payload)
 
     def advance_hop(self) -> None:
         """Move the current-hop pointer past this AS."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.errors import PacketDecodeError, PacketFieldError
 from repro.reservation.ids import ReservationId
@@ -94,8 +95,10 @@ class ResInfo:
     def src_as(self) -> IsdAs:
         return self.reservation.src_as
 
-    @property
+    @cached_property
     def packed(self) -> bytes:
+        # Cached: ResInfo is frozen and its wire form feeds every Eq. 3/4
+        # MAC recompute, so each instance packs at most once.
         return self.WIRE.pack(
             self.reservation.packed, self.bandwidth, self.expiry, self.version
         )
@@ -178,8 +181,10 @@ class Timestamp:
         """Recover the absolute creation time given the expiry from ResInfo."""
         return expiry - self.micros_before_expiry / 1e6
 
-    @property
+    @cached_property
     def packed(self) -> bytes:
+        # Cached: Ts never changes after creation, and every on-path
+        # router packs it twice (Eq. 6 message + replay identifier).
         value = (self.micros_before_expiry << self._SEQ_BITS) | self.sequence
         return self.WIRE.pack(value)
 

@@ -11,6 +11,7 @@ flow label the overuse detector keys on (§4.8).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.topology.addresses import IsdAs
 
@@ -25,10 +26,25 @@ class ReservationId:
     def __post_init__(self):
         if not 0 <= self.local_id < (1 << 32):
             raise ValueError(f"local reservation ID {self.local_id} out of range [0, 2^32)")
+        # Immutable value object: precompute the hash once.  The gateway
+        # keys its reservation table on ReservationId, so the generated
+        # hash (tuple build + nested IsdAs hash) would otherwise run on
+        # every data packet.
+        object.__setattr__(self, "_hash", hash((self.src_as, self.local_id)))
 
-    @property
+    def __hash__(self) -> int:
+        return self._hash
+
+    @cached_property
     def packed(self) -> bytes:
-        """12-byte wire form: 8 bytes SrcAS + 4 bytes counter."""
+        """12-byte wire form: 8 bytes SrcAS + 4 bytes counter.
+
+        Cached: the wire form is the flow label (§4.8), the σ-cache key
+        component, and the replay identifier prefix, so the router reads
+        it several times per data packet.  (``cached_property`` writes
+        the instance ``__dict__`` directly, which is legal on a frozen
+        dataclass — immutability of the *fields* is unaffected.)
+        """
         return self.src_as.packed + self.local_id.to_bytes(4, "big")
 
     @classmethod

@@ -17,11 +17,12 @@ congestion backlog.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 from repro.dataplane.queueing import TrafficClass
 from repro.dataplane.router import Verdict
 from repro.errors import ColibriError
+from repro.packets.colibri import ColibriPacket
 from repro.sim.scenario import ColibriNetwork
 from repro.topology.addresses import IsdAs
 
@@ -140,3 +141,68 @@ class PathPipeline:
                 )
             if result.verdict is not Verdict.FORWARD:
                 raise ColibriError(f"unexpected verdict {result.verdict}")
+
+    def send_batch(
+        self,
+        payloads: list,
+        traffic_class: TrafficClass = TrafficClass.EER_DATA,
+    ) -> List[LatencyReport]:
+        """A burst through the batched fast paths, wave by wave.
+
+        One :meth:`~repro.dataplane.gateway.ColibriGateway.send_batch`
+        stamps the whole burst, then each hop's router handles the wave
+        with one :meth:`~repro.dataplane.router.BorderRouter.process_batch`
+        call.  Verdicts are identical to sequential :meth:`send` calls;
+        *latencies* model the burst arriving back-to-back, so packets
+        queue behind their batch-mates at every port (a burst is a burst
+        — sequential sends would interleave drains between packets).
+        Returns one report per payload, aligned; gateway drops come back
+        undelivered with ``dropped_at`` set to the source AS.
+        """
+        source = self.handle.hops[0].isd_as
+        gateway = self.network.gateway(source)
+        outcomes = gateway.send_batch(
+            [(self.handle.reservation_id, payload) for payload in payloads]
+        )
+        now = self.network.clock.now()
+        reports: List[Optional[LatencyReport]] = [None] * len(outcomes)
+        wave = []
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, ColibriPacket):
+                wave.append((index, outcome, 0.0, []))
+            else:
+                reports[index] = LatencyReport(
+                    delivered=False, latency=0.0, per_hop=[], dropped_at=source
+                )
+        while wave:
+            # All burst packets share the handle's path, so one wave sits
+            # at one AS and one process_batch call covers it.
+            isd_as = self.handle.hops[wave[0][1].hop_index].isd_as
+            router = self.network.router(isd_as)
+            results = router.process_batch([packet for _, packet, _, _ in wave])
+            port = self.ports[isd_as]
+            next_wave = []
+            for (index, packet, latency, per_hop), result in zip(wave, results):
+                if result.verdict.is_drop:
+                    reports[index] = LatencyReport(
+                        delivered=False,
+                        latency=latency,
+                        per_hop=per_hop,
+                        dropped_at=isd_as,
+                    )
+                    continue
+                hop_delay = port.transit_delay(
+                    packet.total_size, traffic_class, now + latency
+                )
+                latency += hop_delay
+                per_hop.append((isd_as, hop_delay))
+                if result.verdict in (Verdict.DELIVER_HOST, Verdict.DELIVER_CSERV):
+                    reports[index] = LatencyReport(
+                        delivered=True, latency=latency, per_hop=per_hop
+                    )
+                elif result.verdict is Verdict.FORWARD:
+                    next_wave.append((index, packet, latency, per_hop))
+                else:
+                    raise ColibriError(f"unexpected verdict {result.verdict}")
+            wave = next_wave
+        return reports

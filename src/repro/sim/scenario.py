@@ -371,8 +371,13 @@ class ColibriNetwork:
                 "blocked_sources": len(stack.router.blocklist),
                 "offenses": stack.cserv.offenses_reported,
             }
+            # σ-cache effectiveness of this AS's border router (absent
+            # when the cache is disabled): hits/misses/evictions plus
+            # rejected hints, prefixed ``sigma_cache_``.
+            if stack.router.sigma_cache is not None:
+                snapshot.update(stack.router.sigma_cache.snapshot())
             per_as[str(isd_as)] = snapshot
             for key, value in snapshot.items():
-                total[key] += value
+                total[key] = total.get(key, 0) + value
         per_as["total"] = total
         return per_as

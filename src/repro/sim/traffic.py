@@ -87,9 +87,13 @@ class OverusingSource(ReservationSource):
             if version is None:
                 self.gateway_drops += 1
                 continue
-            timestamp = self.gateway._timestamp(
-                self.handle.reservation_id, version.expiry, now
-            )
+            # Same Ts-uniqueness rule the honest gateway applies, driven
+            # off the shared per-entry (micros, sequence) state.
+            micros = int((version.expiry - now) * 1e6)
+            last = entry.last_micros
+            sequence = last[1] + 1 if last is not None and last[0] == micros else 0
+            entry.last_micros = (micros, sequence)
+            timestamp = Timestamp(micros, sequence)
             packet = ColibriPacket(
                 packet_type=PacketType.EER_DATA,
                 path=entry.path,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from functools import total_ordering
+from functools import cached_property, total_ordering
 
 _AS_TEXT_RE = re.compile(r"^([0-9a-fA-F]{1,4}):([0-9a-fA-F]{1,4}):([0-9a-fA-F]{1,4})$")
 
@@ -51,7 +51,7 @@ class IsdAs:
             asn = int(as_text)
         return cls(isd=isd, asn=asn)
 
-    @property
+    @cached_property
     def packed(self) -> bytes:
         """8-byte wire encoding: 2 bytes ISD, 6 bytes AS number."""
         return self.isd.to_bytes(2, "big") + self.asn.to_bytes(6, "big")

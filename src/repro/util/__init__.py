@@ -1,6 +1,7 @@
 """Utility substrates: clocks, bandwidth units, ID sequences."""
 
-from repro.util.clock import Clock, SimClock, SkewedClock, WallClock
+from repro.util.clock import Clock, PerfClock, SimClock, SkewedClock, WallClock
+from repro.util.metrics import Counters
 from repro.util.sequence import SequenceAllocator
 from repro.util.units import (
     GBPS,
@@ -16,9 +17,11 @@ from repro.util.units import (
 
 __all__ = [
     "Clock",
+    "PerfClock",
     "SimClock",
     "SkewedClock",
     "WallClock",
+    "Counters",
     "SequenceAllocator",
     "GBPS",
     "MBPS",

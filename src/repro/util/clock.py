@@ -32,6 +32,19 @@ class WallClock(Clock):
         return time.time()
 
 
+class PerfClock(Clock):
+    """High-resolution monotonic time, for throughput measurement only.
+
+    The shard executor (:mod:`repro.dataplane.shards`) times its workers
+    with one of these; it is *not* an epoch clock and must never feed
+    protocol logic (expiry, freshness, monitoring), which always takes a
+    :class:`WallClock`/:class:`SimClock`.
+    """
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
 class SimClock(Clock):
     """A manually driven clock for deterministic tests and simulations.
 

@@ -1,0 +1,427 @@
+"""Equivalence and invalidation tests for the batched fast paths.
+
+The performance work (docs/performance.md) is only admissible because it
+is *behavior-preserving*: the σ-cache is soft state whose entries are
+verified hints, the batch APIs are loop reorderings, and the prehashed
+MAC states are byte-identical to per-call keying.  These tests pin that
+contract:
+
+* σ-cache invalidation — renewals mint fresh σs, DRKey epoch rollover
+  falls back to the previous epoch's entry, and a poisoned or evicted
+  entry can delay but never decide a verdict;
+* the equivalence property — the same workload through ``send``/
+  ``process``, ``send_batch``/``process_batch``, and a cache-disabled
+  router produces byte-identical packets, identical verdict sequences,
+  and identical counters;
+* the shard executor — a deterministic partition rule and honestly
+  labeled measured/modeled results.
+"""
+
+import random
+
+import pytest
+
+from repro.constants import DRKEY_VALIDITY, EER_LIFETIME, L_HVF
+from repro.crypto.drkey import DrkeyDeriver
+from repro.dataplane import ColibriKeys, hop_authenticator
+from repro.dataplane.gateway import ColibriGateway, split_batch
+from repro.dataplane.router import BorderRouter, Verdict
+from repro.dataplane.shards import ShardExecutor, ShardSpec, run_shard, shard_of
+from repro.dataplane.sigma_cache import SigmaCache, SigmaEntry
+from repro.errors import BandwidthExceeded, ReservationNotFound
+from repro.packets.colibri import ColibriPacket
+from repro.packets.fields import EerInfo, PathField, ResInfo
+from repro.reservation.ids import ReservationId
+from repro.topology.addresses import HostAddr, IsdAs
+from repro.util.clock import SimClock
+from repro.util.units import gbps, mbps
+
+SRC = IsdAs.parse("1-ff00:0:110")
+MID = IsdAs.parse("1-ff00:0:111")
+
+PATH = PathField(((0, 1), (2, 3), (4, 0)))
+EER = EerInfo(HostAddr(1), HostAddr(2))
+
+
+def make_stack(now=1000.0, cache=True, capacity=None):
+    """A source gateway plus the middle AS's router (hop index 1)."""
+    clock = SimClock(now)
+    mid_keys = ColibriKeys(DrkeyDeriver(MID, clock, seed=b"mid" * 6))
+    gateway = ColibriGateway(SRC, clock)
+    if capacity is not None:
+        router = BorderRouter(MID, mid_keys, clock, sigma_cache=SigmaCache(capacity=capacity))
+    else:
+        router = BorderRouter(MID, mid_keys, clock, enable_sigma_cache=cache)
+    return clock, gateway, router, mid_keys
+
+
+def install(gateway, mid_keys, clock, bandwidth=gbps(1), local_id=5, version=1):
+    """Install an EER whose middle-hop HopAuth is honestly computed."""
+    now = clock.now()
+    res_id = ReservationId(SRC, local_id)
+    res_info = ResInfo(
+        reservation=res_id,
+        bandwidth=bandwidth,
+        expiry=now + EER_LIFETIME,
+        version=version,
+    )
+    sigma_mid = hop_authenticator(mid_keys.hop_key(now), res_info, EER, 2, 3)
+    gateway.install(res_id, PATH, EER, res_info, (b"x" * 16, sigma_mid, b"y" * 16))
+    return res_id, res_info
+
+
+def arriving(gateway, res_id, payload=b"data"):
+    """A stamped packet as it arrives at the middle AS."""
+    packet = gateway.send(res_id, payload)
+    packet.hop_index = 1
+    return packet
+
+
+class TestSigmaCacheInvalidation:
+    def test_renewal_misses_and_stores_fresh_sigma(self):
+        clock, gateway, router, mid_keys = make_stack()
+        cache = router.sigma_cache
+        res_id, _ = install(gateway, mid_keys, clock, version=1)
+        assert router.validate_only(arriving(gateway, res_id))
+        assert router.validate_only(arriving(gateway, res_id))
+        assert cache.counters.get("hits") == 1
+        assert cache.counters.get("misses") == 1
+
+        # Renewal: version 2 has a different ResInfo, hence different σs.
+        install(gateway, mid_keys, clock, local_id=5, version=2)
+        packet = arriving(gateway, res_id)
+        assert packet.res_info.version == 2
+        assert router.validate_only(packet)
+        # The new version missed (fresh recompute), it did not reuse v1.
+        assert cache.counters.get("misses") == 2
+        assert len(cache) == 2
+        epoch = int(clock.now() // DRKEY_VALIDITY)
+        v1 = cache.get((res_id.packed, 1, epoch))
+        v2 = cache.get((res_id.packed, 2, epoch))
+        assert v1 is not None and v2 is not None
+        assert v1.sigma != v2.sigma
+
+    def test_epoch_rollover_hits_previous_epoch_entry(self):
+        # Install and validate just before a DRKey epoch boundary...
+        start = DRKEY_VALIDITY - 5.0
+        clock, gateway, router, mid_keys = make_stack(now=start)
+        cache = router.sigma_cache
+        res_id, _ = install(gateway, mid_keys, clock)
+        assert router.validate_only(arriving(gateway, res_id))
+        assert len(cache) == 1
+
+        # ...then cross it.  The reservation (and its σs, minted from the
+        # old epoch's hop key) is still live; the lookup probes the new
+        # epoch, falls back to the previous one, and hits.
+        clock.advance(7.0)
+        assert int(clock.now() // DRKEY_VALIDITY) == 1
+        assert router.validate_only(arriving(gateway, res_id))
+        assert cache.counters.get("hits") == 1
+        assert len(cache) == 1  # no duplicate entry under the new epoch
+
+    def test_epoch_rollover_cold_cache_recomputes_with_old_key(self):
+        # Same straddle, but the router has no cached entry: the
+        # stateless recompute must itself fall back to the previous
+        # epoch's hop key (§4.5 key rotation) and then cache under it.
+        start = DRKEY_VALIDITY - 5.0
+        clock, gateway, router, mid_keys = make_stack(now=start)
+        res_id, _ = install(gateway, mid_keys, clock)
+        packet = gateway.send(res_id, b"late")
+        packet.hop_index = 1
+        clock.advance(7.0)
+        assert router.validate_only(arriving(gateway, res_id))
+        cache = router.sigma_cache
+        assert cache.counters.get("misses") == 1
+        # Stored under the minting epoch, addressable via the fallback.
+        assert cache.get((res_id.packed, 1, 0)) is not None
+
+    def test_poisoned_entry_never_changes_a_verdict(self):
+        clock, gateway, router, mid_keys = make_stack()
+        cache = router.sigma_cache
+        res_id, res_info = install(gateway, mid_keys, clock)
+        assert router.validate_only(arriving(gateway, res_id))
+        epoch = int(clock.now() // DRKEY_VALIDITY)
+        key = (res_id.packed, 1, epoch)
+        assert cache.get(key) is not None
+
+        # Corrupt the entry behind the router's back.
+        cache._entries[key] = SigmaEntry(b"poisoned-sigma!!")
+        # A forged packet is still rejected...
+        forged = arriving(gateway, res_id)
+        forged.hvfs[1] = bytes(L_HVF)
+        assert not router.validate_only(forged)
+        # ...and an honest packet is still accepted (stateless fallback),
+        # with the rejected hint counted and the entry healed.
+        assert router.validate_only(arriving(gateway, res_id))
+        assert cache.counters.get("rejected_hints") >= 2
+        honest = hop_authenticator(
+            mid_keys.hop_key(clock.now()), res_info, EER, 2, 3
+        )
+        assert cache.get(key).sigma == honest
+
+    def test_eviction_never_changes_a_verdict(self):
+        clock, gateway, router, mid_keys = make_stack(capacity=1)
+        cache = router.sigma_cache
+        a, _ = install(gateway, mid_keys, clock, local_id=5)
+        b, _ = install(gateway, mid_keys, clock, local_id=6)
+        # Alternating reservations through a one-entry cache: every
+        # lookup after the first evicts the other entry, and every
+        # packet still validates.
+        for _ in range(4):
+            assert router.validate_only(arriving(gateway, a))
+            assert router.validate_only(arriving(gateway, b))
+        assert cache.counters.get("evictions") >= 6
+        assert len(cache) == 1
+
+    def test_explicit_invalidate_drops_all_versions(self):
+        clock, gateway, router, mid_keys = make_stack()
+        cache = router.sigma_cache
+        res_id, _ = install(gateway, mid_keys, clock, version=1)
+        install(gateway, mid_keys, clock, local_id=5, version=2)
+        assert router.validate_only(arriving(gateway, res_id))
+        before = len(cache)
+        assert before >= 1
+        assert cache.invalidate(res_id.packed) == before
+        assert len(cache) == 0
+        # Correctness is unaffected: the next packet recomputes and re-caches.
+        assert router.validate_only(arriving(gateway, res_id))
+        assert len(cache) == 1
+
+
+WORKLOAD_IDS = (5, 6, 7)
+
+
+def run_workload(mode, cache=True):
+    """One fixed randomized workload through a fresh stack.
+
+    ``mode`` is ``"serial"`` (send + process per packet) or ``"batch"``
+    (send_batch + process_batch per 16-request burst).  Returns
+    everything observable: packet bytes, drop types, verdict names, and
+    the stack's counters.
+    """
+    clock, gateway, router, mid_keys = make_stack(cache=cache)
+    for local_id in WORKLOAD_IDS:
+        install(gateway, mid_keys, clock, bandwidth=mbps(1), local_id=local_id)
+    rng = random.Random(2026)
+    requests = []
+    for index in range(64):
+        if index % 17 == 13:
+            requests.append((ReservationId(SRC, 99), b""))  # never installed
+        else:
+            local_id = WORKLOAD_IDS[rng.randrange(len(WORKLOAD_IDS))]
+            requests.append(
+                (ReservationId(SRC, local_id), b"z" * rng.randrange(400, 1400))
+            )
+
+    outcomes = []
+    if mode == "serial":
+        for res_id, payload in requests:
+            try:
+                outcomes.append(gateway.send(res_id, payload))
+            except (ReservationNotFound, BandwidthExceeded) as error:
+                outcomes.append(error)
+    else:
+        for start in range(0, len(requests), 16):
+            outcomes.extend(gateway.send_batch(requests[start : start + 16]))
+
+    packets, drops = split_batch(outcomes)
+    for packet in packets:
+        packet.hop_index = 1
+    if mode == "serial":
+        verdicts = [router.process(packet).verdict for packet in packets]
+    else:
+        verdicts = []
+        for start in range(0, len(packets), 16):
+            verdicts.extend(
+                result.verdict
+                for result in router.process_batch(packets[start : start + 16])
+            )
+    return {
+        "bytes": [packet.to_bytes() for packet in packets],
+        "drops": [(index, type(error).__name__) for index, error in drops],
+        "verdicts": [verdict.name for verdict in verdicts],
+        "router_stats": {v.name: n for v, n in router.stats.items()},
+        "sent": gateway.packets_sent,
+        "dropped": gateway.packets_dropped,
+    }
+
+
+class TestBatchEquivalence:
+    """send/process ≡ send_batch/process_batch ≡ cache-disabled."""
+
+    def test_equivalence_property(self):
+        serial = run_workload("serial")
+        batch = run_workload("batch")
+        batch_nocache = run_workload("batch", cache=False)
+
+        # Byte-identical packets: same Ts sequence, same HVFs, same
+        # serialization — the batch path is a pure loop reordering.
+        assert serial["bytes"] == batch["bytes"]
+        assert serial["bytes"] == batch_nocache["bytes"]
+        # Same drops (as exception type), aligned with request order.
+        assert serial["drops"] == batch["drops"]
+        assert len(serial["drops"]) > 0  # the workload exercises drops
+        # Same verdict sequence and router accounting, with and without
+        # the σ-cache: cache contents never decide a verdict.
+        assert serial["verdicts"] == batch["verdicts"]
+        assert serial["verdicts"] == batch_nocache["verdicts"]
+        assert serial["router_stats"] == batch["router_stats"]
+        assert serial["router_stats"] == batch_nocache["router_stats"]
+        assert serial["sent"] == batch["sent"] == batch_nocache["sent"]
+        assert serial["dropped"] == batch["dropped"]
+        # Sanity: both verdict kinds actually occurred.
+        assert "FORWARD" in serial["verdicts"]
+
+    def test_duplicate_suppression_equivalent(self):
+        results = {}
+        for mode in ("serial", "batch"):
+            clock, gateway, router, mid_keys = make_stack()
+            res_id, _ = install(gateway, mid_keys, clock)
+            wire = gateway.send(res_id, b"dup").to_bytes()
+            first = ColibriPacket.from_bytes(wire)
+            replay = ColibriPacket.from_bytes(wire)
+            first.hop_index = replay.hop_index = 1
+            if mode == "serial":
+                verdicts = [router.process(p).verdict for p in (first, replay)]
+            else:
+                verdicts = [r.verdict for r in router.process_batch([first, replay])]
+            results[mode] = verdicts
+        assert results["serial"] == results["batch"]
+        assert results["serial"] == [Verdict.FORWARD, Verdict.DROP_DUPLICATE]
+
+    def test_warm_cache_second_pass_identical(self):
+        """Cache hits on a warm second pass change nothing observable."""
+        passes = {}
+        for cache in (True, False):
+            clock, gateway, router, mid_keys = make_stack(cache=cache)
+            res_id, _ = install(gateway, mid_keys, clock)
+            rounds = []
+            for _ in range(3):
+                packets, _ = split_batch(
+                    gateway.send_batch([(res_id, b"x" * 100)] * 8)
+                )
+                for packet in packets:
+                    packet.hop_index = 1
+                rounds.append(
+                    [r.verdict.name for r in router.process_batch(packets)]
+                )
+            passes[cache] = rounds
+            if cache:
+                assert router.sigma_cache.counters.get("hits") >= 23
+        assert passes[True] == passes[False]
+
+
+class TestPipelineBatch:
+    """PathPipeline.send_batch delivers exactly what serial sends do."""
+
+    @staticmethod
+    def _pipeline():
+        from repro.sim import ColibriNetwork
+        from repro.sim.pipeline import PathPipeline
+        from repro.topology import build_two_isd_topology
+
+        base = 0xFF00_0000_0000
+        src, dst = IsdAs(1, base + 101), IsdAs(2, base + 101)
+        net = ColibriNetwork(build_two_isd_topology())
+        net.reserve_segments(src, dst, gbps(1))
+        handle = net.establish_eer(src, dst, mbps(10))
+        return src, PathPipeline(net, handle, capacity=mbps(100))
+
+    def test_batch_delivery_matches_serial(self):
+        payloads = [b"p" * (100 + 37 * index) for index in range(8)]
+        _, serial_pipe = self._pipeline()
+        serial = [serial_pipe.send(payload) for payload in payloads]
+        _, batch_pipe = self._pipeline()
+        batch = batch_pipe.send_batch(payloads)
+        assert [r.delivered for r in serial] == [r.delivered for r in batch]
+        assert all(r.delivered for r in batch)
+        assert [r.dropped_at for r in serial] == [r.dropped_at for r in batch]
+        # Burst semantics: later packets queue behind batch-mates, so
+        # latency is non-decreasing within the burst.
+        latencies = [r.latency for r in batch]
+        assert latencies == sorted(latencies)
+
+    def test_batch_gateway_drops_are_aligned(self):
+        src, pipe = self._pipeline()
+        # 10 Mbps reservation, 0.1 s burst depth = 125 kB: fourteen 10 kB
+        # payloads overrun it, so the tail of the burst drops at the
+        # source gateway, aligned with its request index.
+        reports = pipe.send_batch([b"q" * 10_000] * 14)
+        delivered = [r.delivered for r in reports]
+        assert True in delivered and False in delivered
+        assert delivered == sorted(delivered, reverse=True)  # prefix delivers
+        for report in reports:
+            if not report.delivered:
+                assert report.dropped_at == src
+                assert report.latency == 0.0
+
+
+class TestShardExecutor:
+    def test_shard_of_deterministic_and_total(self):
+        ids = [ReservationId(SRC, index + 1) for index in range(512)]
+        assignment = [shard_of(res_id, 4) for res_id in ids]
+        assert assignment == [shard_of(res_id, 4) for res_id in ids]
+        assert all(0 <= shard < 4 for shard in assignment)
+        # Every shard gets a share (blake2s spreads the counter well).
+        counts = [assignment.count(shard) for shard in range(4)]
+        assert min(counts) > 0
+        assert max(counts) < 2.5 * min(counts)
+
+    def test_shard_of_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            shard_of(ReservationId(SRC, 1), 0)
+
+    def test_shards_partition_disjointly(self):
+        ids = [ReservationId(SRC, index + 1) for index in range(128)]
+        owned = [
+            {res_id for res_id in ids if shard_of(res_id, 3) == shard}
+            for shard in range(3)
+        ]
+        assert sum(len(part) for part in owned) == len(ids)
+        assert owned[0] | owned[1] | owned[2] == set(ids)
+
+    def test_single_shard_is_measured(self):
+        executor = ShardExecutor("router", reservations=64, packets=512, batch=32)
+        result = executor.run(1)
+        assert result.mode == "measured"
+        assert result.measured
+        assert len(result.shards) == 1
+        assert result.shards[0].packets == 512
+        assert result.aggregate_pps > 0
+
+    def test_modeled_fallback_on_small_host(self, monkeypatch):
+        executor = ShardExecutor("router", reservations=64, packets=512, batch=32)
+        monkeypatch.setattr(ShardExecutor, "available_cpus", staticmethod(lambda: 1))
+        result = executor.run(4)
+        assert result.mode == "modeled"
+        assert not result.measured
+        assert len(result.shards) == 1  # only the busiest shard ran
+        populated = sum(1 for load in executor.shard_loads(4) if load)
+        assert result.aggregate_pps == pytest.approx(
+            result.shards[0].pps * populated
+        )
+
+    def test_forced_processes_really_dispatch(self):
+        executor = ShardExecutor("gateway", reservations=64, packets=512, batch=32)
+        result = executor.run(2, force_processes=True)
+        assert result.measured
+        assert len(result.shards) == 2
+        assert sum(outcome.packets for outcome in result.shards) >= 512
+        assert all(outcome.pps > 0 for outcome in result.shards if outcome.packets)
+
+    def test_empty_shard_idles(self):
+        # One reservation, many shards: all but one shard own nothing.
+        spec = ShardSpec(
+            component="router", shard_index=0, num_shards=64,
+            reservations=1, packets=64, batch=8,
+        )
+        owner = shard_of(ReservationId(IsdAs(1, 0xFF00_0000_0000 + 1), 1), 64)
+        outcomes = [
+            run_shard(ShardSpec(
+                component="router", shard_index=index, num_shards=64,
+                reservations=1, packets=64, batch=8,
+            ))
+            for index in (owner, (owner + 1) % 64)
+        ]
+        assert outcomes[0].packets > 0
+        assert outcomes[1].packets == 0
