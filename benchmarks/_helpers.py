@@ -35,7 +35,7 @@ def report(name: str, title: str, lines: list) -> None:
         handle.write(body)
 
 
-def report_json(name: str, bench: str, rows: list) -> None:
+def report_json(name: str, bench: str, rows: list, profile: dict = None) -> None:
     """Persist machine-readable results as ``BENCH_<name>.json``.
 
     ``rows`` is a list of ``{"config": {...}, "pps": float}`` entries.
@@ -43,6 +43,11 @@ def report_json(name: str, bench: str, rows: list) -> None:
     deliberately timestamp-free so re-running identical code on
     identical inputs produces an identical file (the diff, not a clock,
     says whether performance changed).
+
+    ``profile`` is an optional :meth:`repro.obs.Profiler.snapshot` from a
+    separate instrumented pass.  It is attached *after* the run id is
+    computed: profile timings are wall-clock noise by nature and must not
+    churn the content hash of the actual measurements.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     payload = {"bench": bench, "results": rows}
@@ -50,6 +55,8 @@ def report_json(name: str, bench: str, rows: list) -> None:
         json.dumps(payload, sort_keys=True).encode("utf-8"), digest_size=8
     ).hexdigest()
     payload["run_id"] = digest
+    if profile is not None:
+        payload["profile"] = profile
     with open(os.path.join(RESULTS_DIR, f"BENCH_{name}.json"), "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -5,7 +5,8 @@ Four commands for kicking the tires without writing code:
 * ``demo``      — the quickstart flow with verbose per-hop output;
 * ``attack``    — run one of the §5 adversaries and print the outcome;
 * ``topology``  — describe a generated topology and its beaconed segments;
-* ``telemetry`` — run a small workload and dump the management-plane view.
+* ``telemetry`` — run a small workload and dump the management-plane view;
+* ``trace``     — run a seeded workload with tracing on and dump the spans.
 """
 
 from __future__ import annotations
@@ -97,6 +98,24 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    network = ColibriNetwork(build_two_isd_topology())
+    obs = network.enable_observability(seed=args.seed)
+    network.reserve_segments(SRC, DST, gbps(1))
+    handle = network.establish_eer(SRC, DST, mbps(10))
+    for _ in range(args.packets):
+        network.send(SRC, handle, b"trace workload")
+    if args.format == "jsonl":
+        print(obs.tracer.export_jsonl(), end="")
+    else:
+        print(obs.tracer.render_tree())
+    if args.metrics:
+        from repro.util.observability import render_metrics
+
+        print(render_metrics(network.telemetry(), registry=obs.metrics), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -125,6 +144,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["json", "prometheus"], default="json"
     )
     telemetry.set_defaults(handler=cmd_telemetry)
+
+    trace = sub.add_parser("trace", help="dump trace spans of a seeded workload")
+    trace.add_argument("--packets", type=int, default=3)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--format", choices=["tree", "jsonl"], default="tree")
+    trace.add_argument(
+        "--metrics",
+        action="store_true",
+        help="append the metrics registry in exposition format",
+    )
+    trace.set_defaults(handler=cmd_trace)
     return parser
 
 

@@ -33,6 +33,7 @@ committed — before re-raising.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
@@ -70,6 +71,7 @@ from repro.errors import (
     TransportError,
     VersionError,
 )
+from repro.obs.trace import traced
 from repro.packets.control import (
     SEGMENT_TYPE_CODES,
     AsGrant,
@@ -117,6 +119,42 @@ class EerHandle:
     hops: tuple
     segment_ids: tuple
     granted: float
+
+
+def _workflow(name: str) -> Callable:
+    """Trace an initiator-side admission workflow and observe its
+    wall-clock duration into ``admission_latency_seconds`` (§6.1 measures
+    setup latency end to end, so the timer covers the whole path walk,
+    retries and backoff included).  No-ops unless ``self.obs`` is set."""
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            obs = self.obs
+            if obs is None:
+                return fn(self, *args, **kwargs)
+            span = obs.tracer.start(name, {"initiator": str(self.isd_as)})
+            begin = obs.perf.now()
+            try:
+                result = fn(self, *args, **kwargs)
+            except BaseException as error:
+                obs.metrics.histogram("admission_latency_seconds").observe(
+                    obs.perf.now() - begin
+                )
+                obs.tracer.finish(
+                    span, status="error", error=type(error).__name__
+                )
+                raise
+            obs.metrics.histogram("admission_latency_seconds").observe(
+                obs.perf.now() - begin
+            )
+            obs.tracer.finish(span)
+            return result
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate
 
 
 class ColibriService:
@@ -180,6 +218,12 @@ class ColibriService:
         self.host_acceptor = host_acceptor or (lambda eer_info, bandwidth: True)
         self.offenses_reported = 0
         self.aborts = {"segments": 0, "eers": 0, "undeliverable": 0}
+        #: Optional :class:`repro.obs.ObsContext`.  When attached (see
+        #: :meth:`~repro.sim.scenario.ColibriNetwork.enable_observability`)
+        #: initiator workflows and on-path admission handlers record
+        #: spans, and initiator latencies feed the
+        #: ``admission_latency_seconds`` histogram.
+        self.obs = None
 
         bus.register(self.isd_as, self)
 
@@ -218,6 +262,7 @@ class ColibriService:
 
     # ================================================================== SegRs ==
 
+    @_workflow("seg.setup")
     def setup_segment(
         self,
         segment: Segment,
@@ -277,6 +322,14 @@ class ColibriService:
             self.registry.register(SegmentDescriptor.of(reservation), whitelist)
         return reservation
 
+    @traced(
+        "admission.seg_setup",
+        attrs=lambda self, request, auth, hop_index: {
+            "isd_as": str(self.isd_as),
+            "hop": hop_index,
+            "reservation": str(request.res_info.reservation),
+        },
+    )
     def handle_seg_setup(
         self, request: SegSetupRequest, auth: AuthenticatedRequest, hop_index: int
     ) -> SegSetupResponse:
@@ -372,6 +425,7 @@ class ColibriService:
 
     # -- renewal and activation (§4.2, §4.4) ----------------------------------------
 
+    @_workflow("seg.renewal")
     def renew_segment(
         self,
         reservation_id: ReservationId,
@@ -411,6 +465,14 @@ class ColibriService:
         self._segment_tokens[reservation_id] = response.tokens
         return new_version
 
+    @traced(
+        "admission.seg_renewal",
+        attrs=lambda self, request, auth, hop_index: {
+            "isd_as": str(self.isd_as),
+            "hop": hop_index,
+            "reservation": str(request.reservation),
+        },
+    )
     def handle_seg_renewal(
         self, request: SegRenewalRequest, auth: AuthenticatedRequest, hop_index: int
     ) -> SegSetupResponse:
@@ -606,6 +668,7 @@ class ColibriService:
 
     # ================================================================== EERs ==
 
+    @_workflow("eer.setup")
     def setup_eer(
         self,
         destination: IsdAs,
@@ -747,6 +810,14 @@ class ColibriService:
             f"{[str(s) for s in request_segment_ids]} named by the EEReq"
         )
 
+    @traced(
+        "admission.eer_setup",
+        attrs=lambda self, request, auth, hop_index: {
+            "isd_as": str(self.isd_as),
+            "hop": hop_index,
+            "reservation": str(request.res_info.reservation),
+        },
+    )
     def handle_eer_setup(
         self, request: EerSetupRequest, auth: AuthenticatedRequest, hop_index: int
     ) -> EerSetupResponse:
@@ -905,6 +976,7 @@ class ColibriService:
                 segment_out, segment_in, bandwidth
             )
 
+    @_workflow("eer.renewal")
     def renew_eer(self, handle: EerHandle, new_bandwidth: float = None) -> EerHandle:
         """Renew an own EER ahead of expiry (§4.2); returns the updated
         handle with the new version installed at the gateway."""
@@ -959,6 +1031,14 @@ class ColibriService:
             granted=response.granted,
         )
 
+    @traced(
+        "admission.eer_renewal",
+        attrs=lambda self, request, auth, hop_index: {
+            "isd_as": str(self.isd_as),
+            "hop": hop_index,
+            "reservation": str(request.reservation),
+        },
+    )
     def handle_eer_renewal(
         self, request: EerRenewalRequest, auth: AuthenticatedRequest, hop_index: int
     ) -> EerSetupResponse:

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ColibriError, TransportError
+from repro.obs.trace import traced
 from repro.reservation.ids import ReservationId
 from repro.reservation.segment import SegmentReservation
 from repro.topology.addresses import IsdAs
@@ -180,7 +181,18 @@ class RemoteQueryClient:
         self.remote_queries = 0
         self.remote_failures = 0
         self.stale_served = 0
+        #: Optional :class:`repro.obs.ObsContext`; when set, each fetch
+        #: records a ``dissemination.fetch`` span.
+        self.obs = None
 
+    @traced(
+        "dissemination.fetch",
+        attrs=lambda self, owner, first, last: {
+            "owner": str(owner),
+            "first": str(first),
+            "last": str(last),
+        },
+    )
     def fetch(self, owner: IsdAs, first: IsdAs, last: IsdAs) -> list:
         """Local registry, then cache, then a remote CServ query."""
         now = self.clock.now()

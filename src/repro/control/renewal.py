@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import ColibriError, TransportError
+from repro.obs.trace import traced
 from repro.reservation.ids import ReservationId
 
 #: Renew when this many seconds remain before expiry.
@@ -94,6 +95,13 @@ class RenewalScheduler:
 
     # -- driving -----------------------------------------------------------------
 
+    @property
+    def obs(self):
+        """The owning CServ's observability context (tick spans nest the
+        renewal/activation spans the CServ records itself)."""
+        return getattr(self.cserv, "obs", None)
+
+    @traced("renewal.tick")
     def tick(self) -> dict:
         """Renew everything within its lead window; returns action counts.
 

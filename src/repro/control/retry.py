@@ -26,6 +26,7 @@ injected :class:`~repro.util.clock.Clock`.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -135,6 +136,16 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
         self.fast_failures = 0
+        #: Called as ``observer(old_state, new_state)`` on every state
+        #: change; the retry layer points it at the trace collector.
+        self.observer: Optional[Callable[[str, str], None]] = None
+
+    def _transition(self, new_state: str) -> None:
+        if new_state == self.state:
+            return
+        old_state, self.state = self.state, new_state
+        if self.observer is not None:
+            self.observer(old_state, new_state)
 
     def allow(self) -> None:
         """Raise :class:`CircuitOpen` unless a call may proceed."""
@@ -142,7 +153,7 @@ class CircuitBreaker:
             return
         if self.state == self.OPEN:
             if self.clock.now() - self._opened_at >= self.reset_timeout:
-                self.state = self.HALF_OPEN  # one probe allowed
+                self._transition(self.HALF_OPEN)  # one probe allowed
                 return
             self.fast_failures += 1
             raise CircuitOpen(
@@ -154,7 +165,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
-        self.state = self.CLOSED
+        self._transition(self.CLOSED)
         self._opened_at = None
 
     def record_failure(self) -> None:
@@ -163,8 +174,8 @@ class CircuitBreaker:
             self.state == self.HALF_OPEN
             or self._consecutive_failures >= self.failure_threshold
         ):
-            self.state = self.OPEN
             self._opened_at = self.clock.now()
+            self._transition(self.OPEN)
 
 
 @dataclass
@@ -216,6 +227,11 @@ class RetryingCaller:
         self._reset_timeout = reset_timeout
         self._breakers: dict[IsdAs, CircuitBreaker] = {}
         self.stats = CallStats()
+        #: Optional :class:`repro.obs.ObsContext`; when set, each logical
+        #: call records a ``retry.call`` span (attempt count attached),
+        #: observes the ``retry_attempts`` histogram, and breaker state
+        #: changes become ``breaker.transition`` events.
+        self.obs = None
 
     def breaker(self, isd_as: IsdAs) -> CircuitBreaker:
         breaker = self._breakers.get(isd_as)
@@ -223,10 +239,42 @@ class RetryingCaller:
             breaker = CircuitBreaker(
                 self.clock, self._failure_threshold, self._reset_timeout
             )
+            breaker.observer = functools.partial(self._breaker_transition, isd_as)
             self._breakers[isd_as] = breaker
         return breaker
 
+    def _breaker_transition(self, isd_as: IsdAs, old: str, new: str) -> None:
+        obs = self.obs
+        if obs is not None:
+            obs.tracer.event(
+                "breaker.transition", dest=str(isd_as), old=old, new=new
+            )
+
     def call(self, isd_as: IsdAs, method: str, *args, **kwargs):
+        obs = self.obs
+        if obs is None:
+            return self._call(isd_as, method, args, kwargs)
+        tracer = obs.tracer
+        span = tracer.start("retry.call", {"method": method, "dest": str(isd_as)})
+        attempts_before = self.stats.attempts
+        try:
+            result = self._call(isd_as, method, args, kwargs)
+        except BaseException as error:
+            attempts = self.stats.attempts - attempts_before
+            obs.metrics.histogram("retry_attempts").observe(attempts)
+            tracer.finish(
+                span,
+                status="error",
+                error=type(error).__name__,
+                attempts=attempts,
+            )
+            raise
+        attempts = self.stats.attempts - attempts_before
+        obs.metrics.histogram("retry_attempts").observe(attempts)
+        tracer.finish(span, attempts=attempts)
+        return result
+
+    def _call(self, isd_as: IsdAs, method: str, args: tuple, kwargs: dict):
         policy = self.policies.for_method(method)
         breaker = self.breaker(isd_as)
         self.stats.calls += 1

@@ -140,6 +140,9 @@ class MessageBus:
         self.calls = 0
         self.calls_by_method: dict[str, int] = defaultdict(int)
         self.faults = faults
+        #: Optional :class:`repro.obs.trace.TraceCollector`; when set,
+        #: every call records a ``bus.call`` span (errored on raise).
+        self.tracer = None
         #: Virtual time spent inside calls (injected latency only); the
         #: bus never touches the wall clock (§6.1 disregards propagation
         #: delay — injected latency exists purely to exercise budgets).
@@ -175,6 +178,30 @@ class MessageBus:
         call raises :class:`CallTimeout` *after* the handler ran, i.e.
         the response was too late, not the request.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._call(isd_as, method, args, caller, timeout, kwargs)
+        attributes = {"method": method, "dest": str(isd_as)}
+        if caller is not None:
+            attributes["caller"] = str(caller)
+        span = tracer.start("bus.call", attributes)
+        try:
+            result = self._call(isd_as, method, args, caller, timeout, kwargs)
+        except BaseException as error:
+            tracer.finish(span, status="error", error=type(error).__name__)
+            raise
+        tracer.finish(span)
+        return result
+
+    def _call(
+        self,
+        isd_as: IsdAs,
+        method: str,
+        args: tuple,
+        caller: Optional[IsdAs],
+        timeout: Optional[float],
+        kwargs: dict,
+    ):
         self.calls += 1
         call_number = self.calls
         self.calls_by_method[method] += 1

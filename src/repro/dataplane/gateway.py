@@ -34,6 +34,7 @@ from typing import List, Optional, Tuple, Union
 
 from repro.dataplane.hvf import sigma_states, stamp_hvfs
 from repro.dataplane.monitor import DeterministicMonitor
+from repro.obs.profile import profiled
 from repro.errors import (
     BandwidthExceeded,
     DataPlaneError,
@@ -230,6 +231,7 @@ class ColibriGateway:
         """
         return self._send_one(reservation_id, payload, self.clock.now())
 
+    @profiled("gateway.send_batch")
     def send_batch(self, requests) -> List[SendOutcome]:
         """Stamp a burst of ``(reservation_id, payload)`` requests.
 

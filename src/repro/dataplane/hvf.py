@@ -34,6 +34,7 @@ from repro.crypto.drkey import DrkeyDeriver, EntityId
 from repro.crypto.mac import KeyedMacContext, constant_time_equal, mac, truncated_mac
 from repro.crypto.prf import prf, prf_context, prf_under_keys
 from repro.errors import HvfMismatch
+from repro.obs.profile import profiled
 from repro.packets.fields import EerInfo, ResInfo, Timestamp
 
 _PAIR = struct.Struct("!HH")
@@ -64,6 +65,7 @@ def verify_segment_token(
         )
 
 
+@profiled("hvf.hop_authenticator")
 def hop_authenticator(
     hop_key: bytes, res_info: ResInfo, eer_info: EerInfo, ingress: int, egress: int
 ) -> bytes:
@@ -102,6 +104,7 @@ def sigma_context(hop_auth: bytes) -> KeyedMacContext:
     return KeyedMacContext(hop_auth)
 
 
+@profiled("hvf.sigma_states")
 def sigma_states(hop_auths) -> tuple:
     """Raw prehashed Eq. (6) MAC states, one per HopAuth σ, path order.
 
@@ -114,6 +117,7 @@ def sigma_states(hop_auths) -> tuple:
     return tuple(prf_context(sigma) for sigma in hop_auths)
 
 
+@profiled("hvf.stamp_hvfs")
 def stamp_hvfs(states, message: bytes, length: int = L_HVF) -> list:
     """Eq. (6) across all hops of one packet: the gateway's batch stamp.
 

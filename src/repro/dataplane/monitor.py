@@ -107,3 +107,21 @@ class DeterministicMonitor:
 
     def watched_count(self) -> int:
         return len(self._buckets)
+
+    def occupancy(self) -> float:
+        """Mean fill ratio of the watched token buckets in [0, 1].
+
+        1.0 means every bucket is full (idle or conforming flows with
+        their whole burst budget available); values near 0 mean flows are
+        pressing against their reserved rates.  With nothing watched the
+        monitor reports 1.0 — all (zero) budgets available.  Feeds the
+        ``token_bucket_occupancy`` gauge.
+        """
+        if not self._buckets:
+            return 1.0
+        total = 0.0
+        for bucket in self._buckets.values():
+            total += (
+                bucket.available_bits / bucket.depth if bucket.depth > 0 else 1.0
+            )
+        return total / len(self._buckets)

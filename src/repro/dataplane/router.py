@@ -47,6 +47,7 @@ from repro.dataplane.monitor import DeterministicMonitor
 from repro.dataplane.ofd import OveruseFlowDetector
 from repro.dataplane.sigma_cache import SigmaCache
 from repro.crypto.mac import constant_time_equal, truncated_mac
+from repro.obs.profile import profiled
 from repro.packets.colibri import ColibriPacket, PacketType
 from repro.topology.addresses import IsdAs
 from repro.util.clock import Clock
@@ -72,6 +73,21 @@ class Verdict(enum.Enum):
 # on every call.
 for _verdict in Verdict:
     _verdict.is_drop = _verdict.name.startswith("DROP")
+del _verdict
+
+# Whether the packet's claimed identity (ResId, Ts) was cryptographically
+# authenticated before the verdict was reached.  The §4.6 pipeline checks
+# expiry, freshness, and the blocklist *before* the HVF (steps 1-2 vs. 3),
+# so those drops — and DROP_BAD_HVF itself — judge attacker-controlled
+# header bytes: forensic tooling must not attribute them to the claimed
+# reservation as established fact (see sim/tracing).
+for _verdict in Verdict:
+    _verdict.identity_verified = _verdict not in (
+        Verdict.DROP_EXPIRED,
+        Verdict.DROP_STALE,
+        Verdict.DROP_BLOCKED,
+        Verdict.DROP_BAD_HVF,
+    )
 del _verdict
 
 
@@ -218,6 +234,7 @@ class BorderRouter:
         """Run the full §4.6 pipeline on one packet."""
         return self._process_one(packet, self.clock.now())
 
+    @profiled("router.process_batch")
     def process_batch(self, packets) -> List[RouterResult]:
         """Run the §4.6 pipeline over a burst of packets.
 
@@ -279,6 +296,7 @@ class BorderRouter:
         cost Figs. 5-6 measure for the border router."""
         return self._validate_one(packet, self.clock.now())
 
+    @profiled("router.validate_batch")
     def validate_batch(self, packets) -> List[bool]:
         """:meth:`validate_only` over a burst, clock read hoisted."""
         now = self.clock.now()

@@ -39,7 +39,7 @@ import hashlib
 import multiprocessing
 import os
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List
 
 from repro.constants import EER_LIFETIME
@@ -52,6 +52,7 @@ from repro.packets.fields import EerInfo, PathField, ResInfo, Timestamp
 from repro.reservation.ids import ReservationId
 from repro.topology.addresses import HostAddr, IsdAs
 from repro.util.clock import PerfClock, SimClock
+from repro.util.metrics import merge_counters
 from repro.util.units import gbps
 
 #: Private-use AS number range, same convention as the benchmarks.
@@ -99,6 +100,12 @@ class ShardOutcome:
     packets: int
     elapsed: float  # seconds inside the timed loop only
     pps: float
+    #: Telemetry counters of the shard's private stack (gateway/monitor
+    #: packet counts, σ-cache hits/misses), snapshotted in the worker and
+    #: shipped back across the process boundary.  Before this field
+    #: existed the per-process counters died with the worker, so a
+    #: sharded run reported throughput with a blank forensic record.
+    counters: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -120,6 +127,21 @@ class ShardRunResult:
     def measured(self) -> bool:
         return self.mode.startswith("measured")
 
+    def telemetry(self) -> dict:
+        """Per-shard counters plus their merged ``total``, in the same
+        ``{entity: {counter: value}}`` shape as
+        :meth:`~repro.sim.scenario.ColibriNetwork.telemetry`, so
+        :func:`repro.util.observability.render_metrics` ingests it
+        directly."""
+        snapshot = {
+            f"shard-{outcome.shard_index}": dict(outcome.counters)
+            for outcome in self.shards
+        }
+        snapshot["total"] = merge_counters(
+            [outcome.counters for outcome in self.shards]
+        )
+        return snapshot
+
 
 def _owned_ids(spec: ShardSpec) -> list:
     """This shard's slice of the global reservation ID space."""
@@ -133,7 +155,11 @@ def _owned_ids(spec: ShardSpec) -> list:
 
 def _gateway_workload(spec: ShardSpec):
     """A private gateway with this shard's reservations installed, plus
-    the pregenerated request batches for the timed loop."""
+    the pregenerated request batches for the timed loop.
+
+    Returns ``(loop, snapshot)``: the timed packet loop and a zero-arg
+    callable reading the stack's counters, taken *in the worker* so the
+    numbers survive the process boundary."""
     clock = SimClock(1000.0)
     gateway = ColibriGateway(_SRC, clock)
     rng = random.Random(spec.seed + spec.shard_index)
@@ -141,11 +167,20 @@ def _gateway_workload(spec: ShardSpec):
     path = PathField(tuple(pairs))
     eer_info = EerInfo(HostAddr(1), HostAddr(2))
     expiry = clock.now() + EER_LIFETIME * 1000  # outlives the bench
+
+    def snapshot() -> dict:
+        return {
+            "gateway_sent": gateway.packets_sent,
+            "gateway_dropped": gateway.packets_dropped,
+            "monitor_passed": gateway.monitor.packets_passed,
+            "monitor_dropped": gateway.monitor.packets_dropped,
+        }
+
     ids = _owned_ids(spec)
     if not ids:
         # A shard can own nothing (fewer reservations than shards, e.g.
         # Fig. 6's r=1 column): it simply idles.
-        return lambda: 0
+        return (lambda: 0), snapshot
     for res_id in ids:
         res_info = ResInfo(
             reservation=res_id, bandwidth=gbps(1000), expiry=expiry, version=1
@@ -173,12 +208,16 @@ def _gateway_workload(spec: ShardSpec):
             done += len(requests)
         return done
 
-    return loop
+    return loop, snapshot
 
 
 def _router_workload(spec: ShardSpec):
     """A private border router plus honestly stamped packets for this
-    shard's reservations, batched for the timed validation loop."""
+    shard's reservations, batched for the timed validation loop.
+
+    Returns ``(loop, snapshot)`` like :func:`_gateway_workload`; the
+    router's counters are its σ-cache statistics (the validation loop
+    bypasses the verdict pipeline, so cache behaviour *is* its telemetry)."""
     clock = SimClock(1000.0)
     keys = ColibriKeys(DrkeyDeriver(_ROUTER_AS, clock, seed=b"shard-router-key"))
     router = BorderRouter(_ROUTER_AS, keys, clock)
@@ -187,9 +226,14 @@ def _router_workload(spec: ShardSpec):
     path = PathField(tuple(pairs))
     eer_info = EerInfo(HostAddr(1), HostAddr(2))
     expiry = clock.now() + EER_LIFETIME
+
+    def snapshot() -> dict:
+        cache = router.sigma_cache
+        return dict(cache.snapshot()) if cache is not None else {}
+
     owned = _owned_ids(spec)
     if not owned:
-        return lambda: 0
+        return (lambda: 0), snapshot
     packets = []
     for res_id in owned:
         res_info = ResInfo(
@@ -222,7 +266,7 @@ def _router_workload(spec: ShardSpec):
             done += len(burst)
         return done
 
-    return loop
+    return loop, snapshot
 
 
 def run_shard(spec: ShardSpec) -> ShardOutcome:
@@ -233,9 +277,9 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
     single-shard and modeled paths.
     """
     if spec.component == "gateway":
-        loop = _gateway_workload(spec)
+        loop, snapshot = _gateway_workload(spec)
     elif spec.component == "router":
-        loop = _router_workload(spec)
+        loop, snapshot = _router_workload(spec)
     else:
         raise ValueError(f"unknown shard component {spec.component!r}")
     # One untimed warm-up pass brings soft state to steady state — the
@@ -247,11 +291,14 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
     start = clock.now()
     done = loop()
     elapsed = clock.now() - start
+    # Counters cover warm-up + timed pass — the shard's whole life — and
+    # are read here, inside the worker, before the process exits.
     return ShardOutcome(
         shard_index=spec.shard_index,
         packets=done,
         elapsed=elapsed,
         pps=done / elapsed if elapsed > 0 else 0.0,
+        counters=snapshot(),
     )
 
 

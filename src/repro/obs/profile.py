@@ -1,0 +1,150 @@
+"""Zero-cost-when-disabled timing hooks over the hot paths.
+
+``@profiled("name")`` wraps a function so that, while a
+:class:`Profiler` is installed, each call's wall duration is accumulated
+under ``name``; with no profiler installed the wrapper is a single
+module-global ``None`` check in front of the original call.  The hot
+sites (σ derivation, HVF stamping, batch send/process, admission) are
+chosen at once-per-packet or once-per-burst granularity, so even the
+enabled overhead stays a small fraction of the work being measured —
+docs/performance.md records the measured disabled-state bound against
+the Fig. 5 benchmark.
+
+One profiler is installed process-globally rather than per component:
+the decorator must cost nothing when idle, and a module-global read is
+the cheapest guard Python offers (an attribute walk through an ``obs``
+context would double it).  Benchmarks install a profiler around a
+measured pass and attach :meth:`Profiler.snapshot` to their
+``BENCH_*.json`` payload, so live telemetry and benchmark numbers come
+from the same instrumentation layer.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional
+
+from repro.util.clock import Clock, PerfClock
+
+
+class ProfileEntry:
+    """Accumulated timings for one profiled site."""
+
+    __slots__ = ("calls", "total", "min", "max")
+
+    def __init__(self):
+        self.calls = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.calls += 1
+        self.total += elapsed
+        if elapsed < self.min:
+            self.min = elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    def to_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "total_seconds": self.total,
+            "mean_seconds": self.total / self.calls if self.calls else 0.0,
+            "min_seconds": self.min if self.calls else 0.0,
+            "max_seconds": self.max,
+        }
+
+
+class Profiler:
+    """Per-site call/duration accumulator behind the ``@profiled`` sites."""
+
+    def __init__(self, clock: Optional[Clock] = None):
+        # PerfClock by default: profiling measures real compute time.
+        # Tests inject a SimClock for deterministic assertions.
+        self.clock = clock if clock is not None else PerfClock()
+        self._entries: dict = {}
+
+    def record(self, name: str, elapsed: float) -> None:
+        entry = self._entries.get(name)
+        if entry is None:
+            entry = self._entries[name] = ProfileEntry()
+        entry.add(elapsed)
+
+    def entry(self, name: str) -> Optional[ProfileEntry]:
+        return self._entries.get(name)
+
+    def snapshot(self) -> dict:
+        """``{site: {calls, total/mean/min/max seconds}}``, name-sorted —
+        the shape the ``BENCH_*.json`` ``profile`` field carries."""
+        return {
+            name: self._entries[name].to_dict() for name in sorted(self._entries)
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: The installed profiler, or ``None`` (the common case).  Module-global
+#: on purpose — see the module docstring.
+_active: Optional[Profiler] = None
+
+
+def install_profiler(profiler: Optional[Profiler] = None) -> Profiler:
+    """Activate ``profiler`` (a fresh one by default) and return it."""
+    global _active
+    if _active is not None:
+        raise RuntimeError("a profiler is already installed")
+    _active = profiler if profiler is not None else Profiler()
+    return _active
+
+
+def uninstall_profiler() -> Optional[Profiler]:
+    """Deactivate and return the current profiler (``None`` if idle)."""
+    global _active
+    profiler, _active = _active, None
+    return profiler
+
+
+def active_profiler() -> Optional[Profiler]:
+    return _active
+
+
+class profiling:
+    """``with profiling() as prof:`` — install for the block's duration."""
+
+    def __init__(self, profiler: Optional[Profiler] = None):
+        self.profiler = profiler
+
+    def __enter__(self) -> Profiler:
+        self.profiler = install_profiler(self.profiler)
+        return self.profiler
+
+    def __exit__(self, *exc_info) -> None:
+        uninstall_profiler()
+
+
+def profiled(name: str) -> Callable:
+    """Decorate a hot-path function with an opt-in timer.
+
+    The disabled path is ``if _active is None: return fn(...)`` — one
+    global load and an identity check; no dict lookups, no clock reads.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            profiler = _active
+            if profiler is None:
+                return fn(*args, **kwargs)
+            begin = profiler.clock.now()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                profiler.record(name, profiler.clock.now() - begin)
+
+        wrapper.__wrapped__ = fn
+        wrapper.__profiled_name__ = name
+        return wrapper
+
+    return decorate

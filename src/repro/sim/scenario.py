@@ -31,6 +31,7 @@ from repro.dataplane.gateway import ColibriGateway
 from repro.dataplane.hvf import ColibriKeys
 from repro.dataplane.router import BorderRouter, RouterResult, Verdict
 from repro.errors import ColibriError
+from repro.obs import ObsContext
 from repro.packets.colibri import ColibriPacket
 from repro.topology.addresses import HostAddr, IsdAs
 from repro.topology.beaconing import Beaconing
@@ -90,6 +91,9 @@ class ColibriNetwork:
         #: Optional :class:`~repro.sim.tracing.PacketTracer`; when set,
         #: every router decision in :meth:`forward` is recorded.
         self.tracer = None
+        #: Optional :class:`repro.obs.ObsContext` shared by every stack;
+        #: attach with :meth:`enable_observability`.
+        self.obs = None
         self._stacks: dict[IsdAs, AsStack] = {}
 
         for node in topology.ases():
@@ -129,6 +133,58 @@ class ColibriNetwork:
                 gateway=gateway,
                 router=router,
             )
+
+    # -- observability wiring ------------------------------------------------------
+
+    def enable_observability(
+        self, seed: int = 0, trace_capacity: int = 100_000
+    ) -> ObsContext:
+        """Attach one :class:`~repro.obs.ObsContext` across every layer.
+
+        Wires the trace collector into the bus (``bus.call`` spans),
+        every CServ (admission workflows and handlers, retries, breaker
+        transitions, dissemination), and this network's data-plane walk
+        (``packet.send`` → ``gateway.stamp`` → per-hop ``router.hop``
+        spans).  Also registers the callback gauges over live data-plane
+        state: σ-cache fill and token-bucket occupancy.  Span IDs come
+        from ``seed`` and timestamps from the shared simulation clock, so
+        a seeded scenario produces a byte-identical trace every run.
+        """
+        obs = ObsContext.create(
+            self.clock, seed=seed, trace_capacity=trace_capacity
+        )
+        self.obs = obs
+        self.bus.tracer = obs.tracer
+        for stack in self._stacks.values():
+            stack.cserv.obs = obs
+            stack.cserv.caller.obs = obs
+            stack.cserv.remote_client.obs = obs
+        obs.metrics.gauge(
+            "sigma_cache_entries",
+            help_text="Live HopAuth entries across all border-router sigma caches",
+        ).set_function(self._sigma_cache_entries)
+        obs.metrics.gauge(
+            "token_bucket_occupancy",
+            help_text="Mean fill ratio of watched token buckets, all monitors",
+        ).set_function(self._token_bucket_occupancy)
+        return obs
+
+    def _sigma_cache_entries(self) -> float:
+        return float(
+            sum(
+                len(stack.router.sigma_cache)
+                for stack in self._stacks.values()
+                if stack.router.sigma_cache is not None
+            )
+        )
+
+    def _token_bucket_occupancy(self) -> float:
+        monitors = [stack.gateway.monitor for stack in self._stacks.values()]
+        monitors += [stack.router.monitor for stack in self._stacks.values()]
+        watched = [m for m in monitors if m.watched_count() > 0]
+        if not watched:
+            return 1.0
+        return sum(m.occupancy() for m in watched) / len(watched)
 
     # -- accessors -----------------------------------------------------------------
 
@@ -202,16 +258,43 @@ class ColibriNetwork:
         reported in the returned :class:`DeliveryReport`.
         """
         gateway = self.gateway(source)
-        packet = gateway.send(handle.reservation_id, payload)
-        return self.forward(packet)
+        obs = self.obs
+        if obs is None:
+            packet = gateway.send(handle.reservation_id, payload)
+            return self.forward(packet)
+        tracer = obs.tracer
+        span = tracer.start(
+            "packet.send",
+            {
+                "source": str(source),
+                "reservation": str(handle.reservation_id),
+            },
+        )
+        try:
+            with tracer.span("gateway.stamp", isd_as=str(source)):
+                packet = gateway.send(handle.reservation_id, payload)
+            report = self.forward(packet)
+        except BaseException as error:
+            tracer.finish(span, status="error", error=type(error).__name__)
+            raise
+        tracer.finish(span, delivered=report.delivered)
+        return report
 
     def forward(self, packet: ColibriPacket) -> DeliveryReport:
         """Walk an already-stamped packet along its path."""
+        obs = self.obs
         verdicts = []
         while True:
             isd_as = packet.path and self._as_at(packet)
             router = self.router(isd_as)
+            span = (
+                obs.tracer.start("router.hop", {"isd_as": str(isd_as)})
+                if obs is not None
+                else None
+            )
             result: RouterResult = router.process(packet)
+            if span is not None:
+                obs.tracer.finish(span, verdict=result.verdict.value)
             verdicts.append((isd_as, result.verdict))
             if self.tracer is not None:
                 self.tracer.record(

@@ -22,7 +22,17 @@ from repro.topology.addresses import IsdAs
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One router decision about one packet."""
+    """One router decision about one packet.
+
+    The verdict is the authoritative fact of the event.  The recorded
+    ``reservation``/``timestamp_id`` are taken from the packet header,
+    and for verdicts reached *before* cryptographic authentication
+    (expiry, freshness, blocklist, and the HVF failure itself) those
+    header bytes are attacker-controlled claims: ``identity_verified``
+    is False and identity-keyed queries skip the event by default, so a
+    forged packet naming a victim's ResId cannot pollute the victim's
+    forensic record.
+    """
 
     when: float
     isd_as: IsdAs
@@ -30,12 +40,17 @@ class TraceEvent:
     reservation: ReservationId
     timestamp_id: bytes  # the packet's unique Ts bytes
     size: int
+    #: False when the §4.6 pipeline rejected the packet before (or at)
+    #: HVF authentication — the identity above is claimed, not proven.
+    identity_verified: bool = True
 
     def render(self) -> str:
         mark = "x" if self.verdict.is_drop else "."
+        # ``res~=`` flags a claimed (unauthenticated) identity.
+        claim = "res=" if self.identity_verified else "res~="
         return (
             f"{self.when:12.6f} {mark} {str(self.isd_as):>14} "
-            f"{self.verdict.value:<14} res={self.reservation} {self.size}B"
+            f"{self.verdict.value:<14} {claim}{self.reservation} {self.size}B"
         )
 
 
@@ -61,6 +76,7 @@ class PacketTracer:
                 reservation=packet.res_info.reservation,
                 timestamp_id=packet.timestamp.packed,
                 size=packet.total_size,
+                identity_verified=verdict.identity_verified,
             )
         )
 
@@ -72,18 +88,47 @@ class PacketTracer:
     def __len__(self) -> int:
         return len(self._events)
 
-    def for_reservation(self, reservation: ReservationId) -> list:
-        return [e for e in self._events if e.reservation == reservation]
+    def for_reservation(
+        self, reservation: ReservationId, include_claimed: bool = False
+    ) -> list:
+        """Events whose *authenticated* identity names ``reservation``.
+
+        Pre-authentication drops carry a claimed identity an attacker
+        chose; attributing them here would frame the reservation's owner.
+        ``include_claimed=True`` opts into the raw header view.
+        """
+        return [
+            e
+            for e in self._events
+            if e.reservation == reservation
+            and (include_claimed or e.identity_verified)
+        ]
 
     def drops(self) -> list:
         return [e for e in self._events if e.verdict.is_drop]
 
-    def packet_journey(self, reservation: ReservationId, timestamp_id: bytes) -> list:
+    def claimed_drops(self) -> list:
+        """Drops judged on unauthenticated header bytes (the reject
+        reason is authoritative; the named reservation is not)."""
+        return [
+            e
+            for e in self._events
+            if e.verdict.is_drop and not e.identity_verified
+        ]
+
+    def packet_journey(
+        self,
+        reservation: ReservationId,
+        timestamp_id: bytes,
+        include_claimed: bool = False,
+    ) -> list:
         """Every hop decision for one specific packet, in order."""
         return [
             e
             for e in self._events
-            if e.reservation == reservation and e.timestamp_id == timestamp_id
+            if e.reservation == reservation
+            and e.timestamp_id == timestamp_id
+            and (include_claimed or e.identity_verified)
         ]
 
     def render(self, limit: Optional[int] = None) -> str:

@@ -44,6 +44,18 @@ class Counters:
         return {f"{self.prefix}_{name}": value for name, value in self._values.items()}
 
 
+def merge_counters(snapshots: list) -> dict:
+    """Key-wise sum of counter snapshots (the ``Counters.snapshot`` /
+    router ``stats`` shape): how the shard executor folds per-process
+    telemetry back into one view.  Associative and commutative, so the
+    merge order across shards cannot change the result."""
+    merged: dict = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            merged[name] = merged.get(name, 0) + value
+    return merged
+
+
 def jain_fairness(allocations: list) -> float:
     """Jain's fairness index: 1.0 = perfectly equal, 1/n = one taker.
 

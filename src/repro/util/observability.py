@@ -23,12 +23,17 @@ _HELP = {
 _PREFIX = "colibri"
 
 
-def render_metrics(telemetry: dict) -> str:
+def render_metrics(telemetry: dict, registry=None) -> str:
     """Render a telemetry snapshot as Prometheus exposition text.
 
     Per-AS values become labelled samples; the ``total`` entry becomes
     the unlabelled aggregate.  Unknown keys are exported verbatim with a
     generic HELP line so extensions flow through automatically.
+
+    When ``registry`` (a :class:`repro.obs.MetricsRegistry`) is given its
+    instruments — histograms as ``_bucket``/``_sum``/``_count`` triples,
+    plus gauges and counters — are appended after the telemetry
+    counters, so one scrape covers both planes.
     """
     lines = []
     names = sorted(
@@ -51,4 +56,7 @@ def render_metrics(telemetry: dict) -> str:
                 lines.append(f"{metric} {value}")
             else:
                 lines.append(f'{metric}{{isd_as="{entity}"}} {value}')
-    return "\n".join(lines) + "\n"
+    text = "\n".join(lines) + "\n"
+    if registry is not None:
+        text += registry.render()
+    return text

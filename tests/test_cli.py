@@ -53,3 +53,28 @@ class TestCli:
         out = capsys.readouterr().out
         assert "# TYPE colibri_gateway_sent gauge" in out
         assert "colibri_gateway_sent 2" in out
+
+    def test_trace_tree_shows_workflows_and_hops(self, capsys):
+        assert main(["trace", "--packets", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "eer.setup" in out
+        assert "packet.send" in out
+        assert "verdict=deliver_host" in out
+
+    def test_trace_jsonl_is_seed_deterministic(self, capsys):
+        assert main(["trace", "--packets", "2", "--format", "jsonl"]) == 0
+        first = capsys.readouterr().out
+        assert main(["trace", "--packets", "2", "--format", "jsonl"]) == 0
+        assert capsys.readouterr().out == first
+        assert main(["trace", "--packets", "2", "--format", "jsonl", "--seed", "9"]) == 0
+        assert capsys.readouterr().out != first
+        for line in first.splitlines():
+            span = json.loads(line)
+            assert span["end"] is not None  # every span closed
+
+    def test_trace_metrics_appends_exposition(self, capsys):
+        assert main(["trace", "--packets", "1", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE colibri_admission_latency_seconds histogram" in out
+        assert 'colibri_retry_attempts_bucket{le="+Inf"}' in out
+        assert "# TYPE colibri_token_bucket_occupancy gauge" in out
