@@ -48,6 +48,10 @@ def report_json(name: str, bench: str, rows: list, profile: dict = None) -> None
     separate instrumented pass.  It is attached *after* the run id is
     computed: profile timings are wall-clock noise by nature and must not
     churn the content hash of the actual measurements.
+
+    Every run is also appended to ``benchmark_results/trajectory.jsonl``
+    (deduplicated by run id, profile excluded), the append-only history
+    ``tools/bench_regress.py`` gates regressions against.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     payload = {"bench": bench, "results": rows}
@@ -55,11 +59,35 @@ def report_json(name: str, bench: str, rows: list, profile: dict = None) -> None
         json.dumps(payload, sort_keys=True).encode("utf-8"), digest_size=8
     ).hexdigest()
     payload["run_id"] = digest
+    _append_trajectory(
+        {"name": name, "bench": bench, "run_id": digest, "results": rows}
+    )
     if profile is not None:
         payload["profile"] = profile
     with open(os.path.join(RESULTS_DIR, f"BENCH_{name}.json"), "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def _append_trajectory(entry: dict) -> None:
+    """Append one run to the bench trajectory unless the identical run
+    (same name + content-hash run id) is already recorded — re-running
+    unchanged code on unchanged inputs must not grow the history."""
+    path = os.path.join(RESULTS_DIR, "trajectory.jsonl")
+    if os.path.exists(path):
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                prior = json.loads(line)
+                if (
+                    prior.get("name") == entry["name"]
+                    and prior.get("run_id") == entry["run_id"]
+                ):
+                    return
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
 
 
 def time_per_call(fn, repeat: int = 200, number: int = 1) -> float:

@@ -6,7 +6,10 @@ Four commands for kicking the tires without writing code:
 * ``attack``    — run one of the §5 adversaries and print the outcome;
 * ``topology``  — describe a generated topology and its beaconed segments;
 * ``telemetry`` — run a small workload and dump the management-plane view;
-* ``trace``     — run a seeded workload with tracing on and dump the spans.
+* ``trace``     — run a seeded workload with tracing on and dump the spans;
+* ``health``    — the operator health report: SLO burn rates, firing
+  alerts, journal statistics, and §5 overuse evidence, over a clean or
+  attacked seeded scenario.
 """
 
 from __future__ import annotations
@@ -100,12 +103,16 @@ def cmd_telemetry(args) -> int:
 
 def cmd_trace(args) -> int:
     network = ColibriNetwork(build_two_isd_topology())
-    obs = network.enable_observability(seed=args.seed)
+    obs = network.enable_observability(seed=args.seed, journal=args.events)
     network.reserve_segments(SRC, DST, gbps(1))
     handle = network.establish_eer(SRC, DST, mbps(10))
     for _ in range(args.packets):
         network.send(SRC, handle, b"trace workload")
-    if args.format == "jsonl":
+    if args.events:
+        from repro.obs.report import render_events
+
+        print(render_events(obs), end="")
+    elif args.format == "jsonl":
         print(obs.tracer.export_jsonl(), end="")
     else:
         print(obs.tracer.render_tree())
@@ -114,6 +121,18 @@ def cmd_trace(args) -> int:
 
         print(render_metrics(network.telemetry(), registry=obs.metrics), end="")
     return 0
+
+
+def cmd_health(args) -> int:
+    from repro.obs.report import health_report, render_health, run_health_scenario
+
+    network, obs = run_health_scenario(seed=args.seed, attack=args.attack)
+    report = health_report(network, obs)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_health(report), end="")
+    return 1 if report["firing"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,7 +173,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append the metrics registry in exposition format",
     )
+    trace.add_argument(
+        "--events",
+        action="store_true",
+        help="interleave journal events with the spans, chronologically",
+    )
     trace.set_defaults(handler=cmd_trace)
+
+    health = sub.add_parser(
+        "health", help="SLO burn rates, alerts, journal stats, overuse evidence"
+    )
+    health.add_argument("--seed", type=int, default=0)
+    health.add_argument(
+        "--attack",
+        action="store_true",
+        help="inject the §7.1 threat-3 overuse attacker",
+    )
+    health.add_argument("--format", choices=["text", "json"], default="text")
+    health.set_defaults(handler=cmd_health)
     return parser
 
 

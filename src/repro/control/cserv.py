@@ -71,6 +71,12 @@ from repro.errors import (
     TransportError,
     VersionError,
 )
+from repro.obs.events import (
+    ADMISSION_DECIDED,
+    RESERVATION_RENEWED,
+    RESERVATION_TORN_DOWN,
+    emit,
+)
 from repro.obs.trace import traced
 from repro.packets.control import (
     SEGMENT_TYPE_CODES,
@@ -229,6 +235,22 @@ class ColibriService:
 
     # ------------------------------------------------------------------ utils --
 
+    def _decided(
+        self, reservation, kind: str, hop_index: int, granted: float, admitted: bool
+    ) -> None:
+        """Journal this AS's own admission decision (one event per
+        handler invocation, cached idempotent replays excluded)."""
+        emit(
+            self.obs,
+            ADMISSION_DECIDED,
+            isd_as=str(self.isd_as),
+            reservation=str(reservation),
+            kind=kind,
+            hop=hop_index,
+            granted=granted,
+            admitted=admitted,
+        )
+
     def _now(self) -> float:
         return self.clock.now()
 
@@ -364,6 +386,13 @@ class ColibriService:
         except ColibriError:
             grant = None
         offered = grant.granted if grant is not None else 0.0
+        self._decided(
+            request.res_info.reservation,
+            "segment",
+            hop_index,
+            offered,
+            offered >= request.min_bandwidth and offered > 0,
+        )
         as_grant = AsGrant(self.isd_as, offered)
         forwarded = request.with_grant(as_grant)
         auth.add_grant_mac(self.keys, as_grant, now)
@@ -463,6 +492,15 @@ class ColibriService:
                 at_as=bottleneck.isd_as if bottleneck else None,
             )
         self._segment_tokens[reservation_id] = response.tokens
+        emit(
+            self.obs,
+            RESERVATION_RENEWED,
+            isd_as=str(self.isd_as),
+            reservation=str(reservation_id),
+            kind="segment",
+            version=new_version,
+            granted=response.granted,
+        )
         return new_version
 
     @traced(
@@ -508,6 +546,13 @@ class ColibriService:
         # re-negotiate the bandwidth granted", §4.4).
         grant = self.seg_admission.evaluate(
             request.reservation, source, hop.ingress, hop.egress, request.new_bandwidth
+        )
+        self._decided(
+            request.reservation,
+            "segment_renewal",
+            hop_index,
+            grant.granted,
+            grant.granted >= request.min_bandwidth and grant.granted > 0,
         )
         as_grant = AsGrant(self.isd_as, grant.granted)
         forwarded = request.with_grant(as_grant)
@@ -604,6 +649,14 @@ class ColibriService:
         self.store.remove_segment(request.reservation)
         self.registry.unregister(request.reservation)
         self._segment_tokens.pop(request.reservation, None)
+        emit(
+            self.obs,
+            RESERVATION_TORN_DOWN,
+            isd_as=str(self.isd_as),
+            reservation=str(request.reservation),
+            kind="segment",
+            reason="teardown",
+        )
         return True
 
     def activate_segment(self, reservation_id: ReservationId, version: int) -> None:
@@ -840,6 +893,9 @@ class ColibriService:
             return cached
 
         def fail(granted: float) -> EerSetupResponse:
+            self._decided(
+                request.res_info.reservation, "eer", hop_index, granted, False
+            )
             return EerSetupResponse(
                 res_info=request.res_info,
                 success=False,
@@ -886,6 +942,9 @@ class ColibriService:
         except ReservationExpired:
             return fail(0.0)
 
+        self._decided(
+            request.res_info.reservation, "eer", hop_index, decision.granted, True
+        )
         as_grant = AsGrant(self.isd_as, decision.granted)
         forwarded = request.with_grant(as_grant)
         auth.add_grant_mac(self.keys, as_grant, now)
@@ -1022,6 +1081,15 @@ class ColibriService:
                 final_info,
                 tuple(hop_auths),
             )
+        emit(
+            self.obs,
+            RESERVATION_RENEWED,
+            isd_as=str(self.isd_as),
+            reservation=str(handle.reservation_id),
+            kind="eer",
+            version=final_info.version,
+            granted=response.granted,
+        )
         return EerHandle(
             reservation_id=handle.reservation_id,
             res_info=final_info,
@@ -1046,6 +1114,9 @@ class ColibriService:
         source = request.reservation.src_as
 
         def fail(granted: float) -> EerSetupResponse:
+            self._decided(
+                request.reservation, "eer_renewal", hop_index, granted, False
+            )
             return EerSetupResponse(
                 res_info=ResInfo(
                     reservation=request.reservation,
@@ -1118,6 +1189,9 @@ class ColibriService:
         except ReservationExpired:
             return fail(0.0)
 
+        self._decided(
+            request.reservation, "eer_renewal", hop_index, offered, True
+        )
         as_grant = AsGrant(self.isd_as, offered)
         forwarded = request.with_grant(as_grant)
         auth.add_grant_mac(self.keys, as_grant, now)
@@ -1228,6 +1302,15 @@ class ColibriService:
             reservation = self.store.get_segment(res_id)
         except ReservationNotFound:
             return  # the request never committed here: nothing to undo
+        emit(
+            self.obs,
+            RESERVATION_TORN_DOWN,
+            isd_as=str(self.isd_as),
+            reservation=str(res_id),
+            kind="segment",
+            reason="abort",
+            version=version,
+        )
         if version <= 1:
             self.seg_admission.release(res_id)
             self.store.remove_segment(res_id)
@@ -1276,6 +1359,15 @@ class ColibriService:
             reservation = self.store.get_eer(res_id)
         except ReservationNotFound:
             return
+        emit(
+            self.obs,
+            RESERVATION_TORN_DOWN,
+            isd_as=str(self.isd_as),
+            reservation=str(res_id),
+            kind="eer",
+            reason="abort",
+            version=version,
+        )
         now = self._now()
         if version <= 1:
             # Abort of the initial setup: the whole EER goes, and every

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import ColibriError, TransportError
+from repro.obs.events import RESERVATION_TORN_DOWN, emit
 from repro.obs.trace import traced
 from repro.reservation.ids import ReservationId
 
@@ -119,6 +120,14 @@ class RenewalScheduler:
                 reservation = self.cserv.store.get_segment(tracked.reservation_id)
             except ColibriError:
                 self._segments.pop(tracked.reservation_id, None)
+                emit(
+                    self.obs,
+                    RESERVATION_TORN_DOWN,
+                    isd_as=str(self.cserv.isd_as),
+                    reservation=str(tracked.reservation_id),
+                    kind="segment",
+                    reason="vanished",
+                )
                 continue
             if reservation.expiry - now > self.segr_lead:
                 continue
@@ -139,6 +148,14 @@ class RenewalScheduler:
             eer_id = tracked.handle.reservation_id
             if not self.cserv.store.has_eer(eer_id):
                 self._eers.pop(eer_id, None)
+                emit(
+                    self.obs,
+                    RESERVATION_TORN_DOWN,
+                    isd_as=str(self.cserv.isd_as),
+                    reservation=str(eer_id),
+                    kind="eer",
+                    reason="vanished",
+                )
                 continue
             if tracked.handle.res_info.expiry - now > self.eer_lead:
                 continue

@@ -45,6 +45,7 @@ from repro.constants import (
     RETRY_MULTIPLIER,
 )
 from repro.errors import CircuitOpen, RetriesExhausted, TransportError
+from repro.obs.events import BREAKER_TRANSITION
 from repro.topology.addresses import IsdAs
 from repro.util.clock import Clock
 
@@ -249,6 +250,23 @@ class RetryingCaller:
             obs.tracer.event(
                 "breaker.transition", dest=str(isd_as), old=old, new=new
             )
+            if obs.journal is not None:
+                obs.journal.record(
+                    BREAKER_TRANSITION,
+                    isd_as=str(self.source),
+                    dest=str(isd_as),
+                    old=old,
+                    new=new,
+                )
+
+    def open_breakers(self) -> int:
+        """Breakers currently not CLOSED — feeds the
+        ``circuit_breakers_open`` registry gauge."""
+        return sum(
+            1
+            for breaker in self._breakers.values()
+            if breaker.state != CircuitBreaker.CLOSED
+        )
 
     def call(self, isd_as: IsdAs, method: str, *args, **kwargs):
         obs = self.obs

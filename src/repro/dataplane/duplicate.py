@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 
 from repro.constants import DUPLICATE_WINDOW
+from repro.obs.events import DUPLICATE_SUPPRESSED
 from repro.util.clock import Clock
 
 
@@ -65,6 +66,12 @@ class DuplicateSuppressor:
     which the paper accepts as the price of bounded state.
     """
 
+    #: Optional :class:`repro.obs.ObsContext` + owning-AS label; the
+    #: journal branch below runs only when a duplicate is caught, so the
+    #: fresh-packet fast path is unchanged.
+    obs = None
+    isd_as = ""
+
     def __init__(
         self,
         clock: Clock,
@@ -94,6 +101,12 @@ class DuplicateSuppressor:
         self._maybe_rotate(now)
         if identifier in self._current or identifier in self._previous:
             self.duplicates_caught += 1
+            if self.obs is not None and self.obs.journal is not None:
+                self.obs.journal.record(
+                    DUPLICATE_SUPPRESSED,
+                    isd_as=self.isd_as,
+                    identifier=identifier.hex(),
+                )
             return False
         self._current.add(identifier)
         return True

@@ -22,6 +22,7 @@ from typing import Callable, Optional
 
 from repro.constants import DEFAULT_BURST_SECONDS
 from repro.dataplane.token_bucket import TokenBucket
+from repro.obs.events import MONITOR_CONFIRMED_OVERUSE
 
 #: Number of non-conforming packets after which overuse is *confirmed*
 #: rather than attributed to an isolated burst.
@@ -36,6 +37,13 @@ DEFAULT_CONFIRMATION_WINDOW = 10.0
 
 class DeterministicMonitor:
     """Exact per-flow rate enforcement over token buckets."""
+
+    #: Optional :class:`repro.obs.ObsContext` + owning-AS label, wired by
+    #: ``enable_observability``; class-level defaults keep the disabled
+    #: check path untouched (the branch below only runs on confirmation,
+    #: which is rare by construction).
+    obs = None
+    isd_as = ""
 
     def __init__(
         self,
@@ -98,12 +106,33 @@ class DeterministicMonitor:
         self._drops[flow_label] = (drops, now)
         if drops >= self.confirmation_drops and flow_label not in self._confirmed:
             self._confirmed.add(flow_label)
+            if self.obs is not None and self.obs.journal is not None:
+                self.obs.journal.record(
+                    MONITOR_CONFIRMED_OVERUSE,
+                    isd_as=self.isd_as,
+                    flow=flow_label.hex(),
+                    drops=drops,
+                    window=self.confirmation_window,
+                    bandwidth=bucket.rate,
+                )
             if self.on_confirmed is not None:
                 self.on_confirmed(flow_label)
         return False
 
     def is_confirmed_overuser(self, flow_label: bytes) -> bool:
         return flow_label in self._confirmed
+
+    def confirmed_count(self) -> int:
+        """Flows confirmed as overusers — feeds the
+        ``monitor_confirmed_flows`` registry gauge."""
+        return len(self._confirmed)
+
+    def drop_streak(self, flow_label: bytes) -> tuple:
+        """Current confirmation-window state ``(drops, last_drop_at)``
+        for a flow (``(0, None)`` when it has no streak) — the state
+        forensics and SLOs previously had to poke out of ``_drops``."""
+        count, last_drop = self._drops.get(flow_label, (0, None))
+        return count, last_drop
 
     def watched_count(self) -> int:
         return len(self._buckets)

@@ -33,10 +33,18 @@ from repro.constants import (
     OFD_DEFAULT_WINDOW,
     OFD_OVERUSE_FACTOR,
 )
+from repro.obs.events import OFD_FLAGGED
 
 
 class OveruseFlowDetector:
     """Windowed count-min sketch reporting suspected overuse flows."""
+
+    #: Optional :class:`repro.obs.ObsContext` + owning-AS label, wired by
+    #: ``enable_observability``; class-level defaults so the
+    #: un-instrumented observe path is unchanged (the journal branch runs
+    #: only when a flow is newly flagged).
+    obs = None
+    isd_as = ""
 
     def __init__(
         self,
@@ -56,6 +64,9 @@ class OveruseFlowDetector:
         self._rows = [[0.0] * width for _ in range(depth)]
         self._window_start = 0.0
         self._suspects: set = set()
+        # Cumulative per-flow observations while flagged; survives window
+        # rolls (evidence wants the whole history, not one window's).
+        self._hits: dict = {}
         self.packets_seen = 0
         self.reports = 0
 
@@ -85,23 +96,52 @@ class OveruseFlowDetector:
         if bandwidth <= 0:
             # A packet on a zero-bandwidth (fully expired) reservation is
             # overusing by definition.
-            self._suspects.add(flow_label)
-            self.reports += 1
+            self._flag(flow_label, now)
             return True
         normalized = (packet_size * 8) / bandwidth  # seconds of budget
         estimate = float("inf")
         for row, position in self._positions(flow_label):
             self._rows[row][position] += normalized
             estimate = min(estimate, self._rows[row][position])
-        threshold = self.window * self.overuse_factor
-        if estimate > threshold and flow_label not in self._suspects:
-            self._suspects.add(flow_label)
-            self.reports += 1
+        if flow_label in self._suspects:
+            self._hits[flow_label] = self._hits.get(flow_label, 0) + 1
+            return False  # already flagged in this window
+        if estimate > self.window * self.overuse_factor:
+            self._flag(flow_label, now)
             return True
         return False
 
+    def _flag(self, flow_label: bytes, now: float) -> None:
+        """A flow crossed the sketch threshold: flag it for deterministic
+        monitoring and remember the hit."""
+        self._suspects.add(flow_label)
+        self._hits[flow_label] = self._hits.get(flow_label, 0) + 1
+        self.reports += 1
+        if self.obs is not None and self.obs.journal is not None:
+            self.obs.journal.record(
+                OFD_FLAGGED,
+                isd_as=self.isd_as,
+                flow=flow_label.hex(),
+                hits=self._hits[flow_label],
+            )
+
     def is_suspect(self, flow_label: bytes) -> bool:
         return flow_label in self._suspects
+
+    def hit_count(self, flow_label: bytes) -> int:
+        """Cumulative observations of ``flow_label`` while flagged —
+        the per-flow evidence counter forensics reads."""
+        return self._hits.get(flow_label, 0)
+
+    def suspect_count(self) -> int:
+        """Flows flagged in the current window — feeds the
+        ``ofd_suspects`` registry gauge."""
+        return len(self._suspects)
+
+    def total_hits(self) -> int:
+        """Cumulative flagged-flow observations across all flows — feeds
+        the ``ofd_hits_total`` registry gauge (monotone)."""
+        return sum(self._hits.values())
 
     def suspects(self) -> set:
         """Flows flagged in the current window, for handoff to the

@@ -47,6 +47,7 @@ from repro.dataplane.monitor import DeterministicMonitor
 from repro.dataplane.ofd import OveruseFlowDetector
 from repro.dataplane.sigma_cache import SigmaCache
 from repro.crypto.mac import constant_time_equal, truncated_mac
+from repro.obs.events import VERDICT_DROPPED
 from repro.obs.profile import profiled
 from repro.packets.colibri import ColibriPacket, PacketType
 from repro.topology.addresses import IsdAs
@@ -100,6 +101,13 @@ class RouterResult:
 
 class BorderRouter:
     """One AS's Colibri border router."""
+
+    #: Optional :class:`repro.obs.ObsContext`.  A class-level default
+    #: keeps the disabled fast path at one attribute read (the PR 4
+    #: bound in docs/performance.md §6); ``enable_observability`` sets a
+    #: per-instance context and the journal starts receiving
+    #: ``VerdictDropped`` events for every drop verdict.
+    obs = None
 
     def __init__(
         self,
@@ -226,6 +234,24 @@ class BorderRouter:
 
     def _finish(self, packet: ColibriPacket, verdict: Verdict, egress=None) -> RouterResult:
         self.stats[verdict] += 1
+        if verdict.is_drop and self.obs is not None:
+            journal = self.obs.journal
+            if journal is not None:
+                res_info = packet.res_info
+                # Drops before the HVF check (expiry/freshness/blocklist/
+                # bad-HVF) judge attacker-controlled header bytes; the
+                # flag lets forensics exclude them as established fact.
+                journal.record(
+                    VERDICT_DROPPED,
+                    isd_as=str(self.isd_as),
+                    verdict=verdict.value,
+                    reservation=str(res_info.reservation),
+                    flow=res_info.reservation.packed.hex(),
+                    src_as=str(res_info.src_as),
+                    version=res_info.version,
+                    size=packet.total_size,
+                    identity_verified=verdict.identity_verified,
+                )
         return RouterResult(verdict=verdict, packet=packet, egress=egress)
 
     # -- the fast path -----------------------------------------------------------------

@@ -15,7 +15,15 @@ instrumentation an operator (and the test suite) can assert on:
   with counters, gauges, and fixed-bucket histograms, rendered in the
   Prometheus exposition format next to the flat telemetry counters;
 * :mod:`repro.obs.profile` — a zero-cost-when-disabled ``@profiled``
-  timer over the hot paths, feeding the ``BENCH_*.json`` writers.
+  timer over the hot paths, feeding the ``BENCH_*.json`` writers;
+* :mod:`repro.obs.events` — a bounded, typed
+  :class:`~repro.obs.events.EventJournal` (flight recorder) both planes
+  emit structured events into;
+* :mod:`repro.obs.slo` — SLO specs and a multi-window burn-rate
+  :class:`~repro.obs.slo.AlertEngine` over registry snapshots;
+* :mod:`repro.obs.forensics` — journal-backed
+  :class:`~repro.obs.forensics.OveruseEvidence` records for §5
+  complaints, with a verifier.
 
 Everything is deterministic (seeded span IDs, injected clocks) and
 disabled by default: an un-instrumented run takes the exact same fast
@@ -28,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.events import EventJournal, emit
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_RETRY_BUCKETS,
@@ -49,6 +58,7 @@ from repro.util.clock import Clock, PerfClock
 
 __all__ = [
     "Counter",
+    "EventJournal",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -57,6 +67,7 @@ __all__ = [
     "Span",
     "TraceCollector",
     "active_profiler",
+    "emit",
     "install_profiler",
     "profiled",
     "profiling",
@@ -82,6 +93,11 @@ class ObsContext:
     #: protocol clock: admission latency is real compute time (§6.1),
     #: not simulated time.
     perf: Clock
+    #: Optional flight recorder; ``None`` keeps every ``emit`` site a
+    #: no-op even when tracing/metrics are armed.
+    journal: Optional[EventJournal] = None
+    #: Optional burn-rate alert engine watching :attr:`metrics`.
+    alerts: Optional["object"] = None
 
     @classmethod
     def create(
@@ -90,6 +106,8 @@ class ObsContext:
         seed: int = 0,
         perf: Optional[Clock] = None,
         trace_capacity: int = 100_000,
+        journal: bool = False,
+        journal_capacity: int = 65_536,
     ) -> "ObsContext":
         metrics = MetricsRegistry()
         metrics.histogram(
@@ -106,4 +124,7 @@ class ObsContext:
             tracer=TraceCollector(clock, seed=seed, capacity=trace_capacity),
             metrics=metrics,
             perf=perf if perf is not None else PerfClock(),
+            journal=(
+                EventJournal(clock, capacity=journal_capacity) if journal else None
+            ),
         )

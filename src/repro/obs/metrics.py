@@ -330,12 +330,16 @@ class MetricsRegistry:
 
     # -- exposition -----------------------------------------------------------
 
-    def render(self) -> str:
+    def render(self, exclude: frozenset = frozenset()) -> str:
         """Exposition-format text for every instrument, name-sorted.
         ``render_metrics(telemetry, registry=…)`` appends this block to
-        the counter samples so one scrape covers both layers."""
+        the counter samples so one scrape covers both layers; it passes
+        the telemetry-derived names as ``exclude`` so instruments
+        mirrored from the flat counters are not reported twice."""
         lines: list = []
         for inst in self.instruments():
+            if inst.name in exclude:
+                continue
             full = f"{self.prefix}_{inst.name}"
             if inst.help_text:
                 lines.append(f"# HELP {full} {inst.help_text}")

@@ -32,6 +32,8 @@ from repro.dataplane.hvf import ColibriKeys
 from repro.dataplane.router import BorderRouter, RouterResult, Verdict
 from repro.errors import ColibriError
 from repro.obs import ObsContext
+from repro.obs.slo import AlertEngine, default_slos, register_journal_gauges
+from repro.util.observability import register_telemetry_gauges
 from repro.packets.colibri import ColibriPacket
 from repro.topology.addresses import HostAddr, IsdAs
 from repro.topology.beaconing import Beaconing
@@ -137,7 +139,13 @@ class ColibriNetwork:
     # -- observability wiring ------------------------------------------------------
 
     def enable_observability(
-        self, seed: int = 0, trace_capacity: int = 100_000
+        self,
+        seed: int = 0,
+        trace_capacity: int = 100_000,
+        journal: bool = False,
+        journal_capacity: int = 65_536,
+        slos: bool = False,
+        perf: Optional[Clock] = None,
     ) -> ObsContext:
         """Attach one :class:`~repro.obs.ObsContext` across every layer.
 
@@ -149,9 +157,28 @@ class ColibriNetwork:
         state: σ-cache fill and token-bucket occupancy.  Span IDs come
         from ``seed`` and timestamps from the shared simulation clock, so
         a seeded scenario produces a byte-identical trace every run.
+
+        ``journal=True`` additionally arms the
+        :class:`~repro.obs.events.EventJournal` flight recorder on every
+        emission site of both planes (admission decisions, renewals,
+        teardowns, drops, OFD flags, monitor confirmations, duplicate
+        suppression, breaker flips) and exposes its cumulative per-type
+        counts as registry gauges.  ``slos=True`` attaches a burn-rate
+        :class:`~repro.obs.slo.AlertEngine` over
+        :func:`~repro.obs.slo.default_slos`, sampled by calling
+        ``obs.alerts.tick()`` from the scenario loop.  ``perf`` overrides
+        the wall-duration clock for latency instruments — pass the
+        network's own :class:`~repro.util.clock.SimClock` to make latency
+        histograms (and everything derived from them) byte-deterministic
+        per seed.
         """
         obs = ObsContext.create(
-            self.clock, seed=seed, trace_capacity=trace_capacity
+            self.clock,
+            seed=seed,
+            perf=perf,
+            trace_capacity=trace_capacity,
+            journal=journal,
+            journal_capacity=journal_capacity,
         )
         self.obs = obs
         self.bus.tracer = obs.tracer
@@ -159,6 +186,13 @@ class ColibriNetwork:
             stack.cserv.obs = obs
             stack.cserv.caller.obs = obs
             stack.cserv.remote_client.obs = obs
+            label = str(stack.isd_as)
+            router = stack.router
+            router.obs = obs
+            for policer in (router.monitor, router.ofd, router.duplicates,
+                            stack.gateway.monitor):
+                policer.obs = obs
+                policer.isd_as = label
         obs.metrics.gauge(
             "sigma_cache_entries",
             help_text="Live HopAuth entries across all border-router sigma caches",
@@ -167,6 +201,34 @@ class ColibriNetwork:
             "token_bucket_occupancy",
             help_text="Mean fill ratio of watched token buckets, all monitors",
         ).set_function(self._token_bucket_occupancy)
+        # Mirror the flat telemetry counters (router_drops, gateway_sent,
+        # sigma_cache_*, …) into the registry so the SLO engine sees the
+        # management plane too; render_metrics de-duplicates the scrape.
+        register_telemetry_gauges(obs.metrics, self.telemetry)
+        obs.metrics.gauge(
+            "router_processed_total",
+            help_text="Packets processed across all border routers (drops + forwarded)",
+        ).set_function(self._router_processed)
+        obs.metrics.gauge(
+            "circuit_breakers_open",
+            help_text="Retry-layer circuit breakers currently not closed",
+        ).set_function(self._open_breakers)
+        obs.metrics.gauge(
+            "monitor_confirmed_flows",
+            help_text="Flows confirmed as overusers by deterministic monitors",
+        ).set_function(self._confirmed_flows)
+        obs.metrics.gauge(
+            "ofd_suspects",
+            help_text="Flows flagged by overuse-flow detectors this window",
+        ).set_function(self._ofd_suspects)
+        obs.metrics.gauge(
+            "ofd_hits_total",
+            help_text="Cumulative flagged-flow observations across all OFDs",
+        ).set_function(self._ofd_hits)
+        if obs.journal is not None:
+            register_journal_gauges(obs.metrics, obs.journal)
+        if slos:
+            obs.alerts = AlertEngine(default_slos()).watch(obs.metrics, self.clock)
         return obs
 
     def _sigma_cache_entries(self) -> float:
@@ -185,6 +247,37 @@ class ColibriNetwork:
         if not watched:
             return 1.0
         return sum(m.occupancy() for m in watched) / len(watched)
+
+    def _router_processed(self) -> float:
+        return float(
+            sum(
+                count
+                for stack in self._stacks.values()
+                for count in stack.router.stats.values()
+            )
+        )
+
+    def _open_breakers(self) -> float:
+        return float(
+            sum(stack.cserv.caller.open_breakers() for stack in self._stacks.values())
+        )
+
+    def _confirmed_flows(self) -> float:
+        total = 0
+        for stack in self._stacks.values():
+            total += stack.router.monitor.confirmed_count()
+            total += stack.gateway.monitor.confirmed_count()
+        return float(total)
+
+    def _ofd_suspects(self) -> float:
+        return float(
+            sum(stack.router.ofd.suspect_count() for stack in self._stacks.values())
+        )
+
+    def _ofd_hits(self) -> float:
+        return float(
+            sum(stack.router.ofd.total_hits() for stack in self._stacks.values())
+        )
 
     # -- accessors -----------------------------------------------------------------
 

@@ -3,6 +3,13 @@
 Converts a :meth:`~repro.sim.scenario.ColibriNetwork.telemetry` snapshot
 into the text exposition format every monitoring stack ingests, so a
 deployment scrapes the same counters the tests assert on.
+
+:func:`register_telemetry_gauges` bridges the two metrics stacks: every
+flat telemetry counter is mirrored into the
+:class:`~repro.obs.metrics.MetricsRegistry` as a callback gauge, so the
+SLO engine evaluates over one snapshot covering both layers.  To keep
+each counter reported exactly once, :func:`render_metrics` excludes the
+mirrored names from the registry block it appends.
 """
 
 from __future__ import annotations
@@ -58,5 +65,27 @@ def render_metrics(telemetry: dict, registry=None) -> str:
                 lines.append(f'{metric}{{isd_as="{entity}"}} {value}')
     text = "\n".join(lines) + "\n"
     if registry is not None:
-        text += registry.render()
+        text += registry.render(exclude=frozenset(names))
     return text
+
+
+def register_telemetry_gauges(registry, telemetry_fn) -> list:
+    """Mirror every flat telemetry counter into ``registry``.
+
+    Each key of ``telemetry_fn()["total"]`` becomes a callback gauge of
+    the same name, read live from the aggregate — the adapter that lets
+    the SLO engine (which consumes registry snapshots only) see the
+    management-plane counters.  Returns the mirrored names;
+    :func:`render_metrics` drops exactly these from the registry block
+    so no counter is double-reported in one scrape.
+    """
+    names = sorted(telemetry_fn()["total"])
+    for name in names:
+
+        def _read(key=name):
+            return float(telemetry_fn()["total"].get(key, 0))
+
+        registry.gauge(
+            name, help_text=_HELP.get(name, f"Colibri counter {name}")
+        ).set_function(_read)
+    return names

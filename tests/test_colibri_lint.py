@@ -203,6 +203,26 @@ class TestCL008Citations(unittest.TestCase):
         self.assertEqual([], rules_hit("MAX_THING = 4\n", PROD_PATH))
 
 
+class TestCL009LibraryPrint(unittest.TestCase):
+    def test_print_flagged(self):
+        self.assertIn("CL009", rules_hit("print('admitted')\n"))
+
+    def test_logging_import_flagged(self):
+        self.assertIn("CL009", rules_hit("import logging\n"))
+
+    def test_logging_from_import_flagged(self):
+        self.assertIn("CL009", rules_hit("from logging import getLogger\n"))
+
+    def test_cli_module_exempt(self):
+        self.assertEqual([], rules_hit("print('usage')\n", "src/repro/cli.py"))
+
+    def test_tests_exempt(self):
+        self.assertEqual([], rules_hit("print('debug')\n", "tests/test_x.py"))
+
+    def test_method_named_print_clean(self):
+        self.assertEqual([], rules_hit("reporter.print('x')\n"))
+
+
 class TestSuppressions(unittest.TestCase):
     def test_line_suppression(self):
         source = "def f(tag):\n    assert tag  # colibri-lint: disable=CL003\n"

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Gate benchmark throughput against the recorded trajectory.
+
+``benchmark_results/trajectory.jsonl`` accumulates one entry per bench
+run (appended by ``benchmarks/_helpers.report_json``, deduplicated by
+content-hash run id).  This tool compares, per bench, the **latest**
+entry against the **best prior** throughput recorded for each matching
+configuration, and exits non-zero when the geometric-mean ratio across
+matched configurations regresses by more than the threshold (15% by
+default).
+
+Configurations are matched exactly (the sorted-JSON form of the
+``config`` dict), so a quick-mode CI run with shrunken sweep axes is
+only compared against prior runs of the same axes — never against the
+committed full-sweep numbers.  A bench with a single entry, or with no
+configuration overlap against its history, passes vacuously.
+
+Usage::
+
+    python tools/bench_regress.py [--trajectory PATH] [--threshold 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+DEFAULT_TRAJECTORY = os.path.join(
+    os.path.dirname(__file__), "..", "benchmark_results", "trajectory.jsonl"
+)
+DEFAULT_THRESHOLD = 0.15
+
+
+def load_trajectory(path: str) -> dict:
+    """Entries grouped by bench name, file order (oldest first)."""
+    by_name: dict = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            by_name.setdefault(entry["name"], []).append(entry)
+    return by_name
+
+
+def best_prior_by_config(priors: list) -> dict:
+    """Best recorded pps per exact configuration across prior runs."""
+    best: dict = {}
+    for run in priors:
+        for row in run["results"]:
+            key = json.dumps(row["config"], sort_keys=True)
+            pps = float(row["pps"])
+            if pps > best.get(key, 0.0):
+                best[key] = pps
+    return best
+
+
+def compare(latest: dict, priors: list):
+    """``(geomean_ratio, matched)`` for the latest run vs its history;
+    ``(None, 0)`` when no configuration overlaps."""
+    best = best_prior_by_config(priors)
+    ratios = []
+    for row in latest["results"]:
+        key = json.dumps(row["config"], sort_keys=True)
+        prior = best.get(key)
+        if prior and prior > 0:
+            ratios.append(float(row["pps"]) / prior)
+    if not ratios:
+        return None, 0
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    return geomean, len(ratios)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trajectory", default=DEFAULT_TRAJECTORY)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum tolerated fractional throughput regression",
+    )
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.trajectory):
+        print(f"bench-regress: no trajectory at {args.trajectory}; nothing to gate")
+        return 0
+    failures = []
+    for name, runs in sorted(load_trajectory(args.trajectory).items()):
+        latest, priors = runs[-1], runs[:-1]
+        if not priors:
+            print(f"{name}: first recorded run ({latest['run_id']}), baseline set")
+            continue
+        geomean, matched = compare(latest, priors)
+        if geomean is None:
+            print(f"{name}: no configurations shared with prior runs, skipped")
+            continue
+        verdict = "OK"
+        if geomean < 1.0 - args.threshold:
+            verdict = "REGRESSION"
+            failures.append((name, geomean))
+        print(
+            f"{name}: {matched} matched configs, throughput x{geomean:.3f} "
+            f"vs best prior — {verdict}"
+        )
+    if failures:
+        for name, geomean in failures:
+            print(
+                f"bench-regress: {name} throughput regressed to "
+                f"{geomean:.3f}x of the best recorded run "
+                f"(threshold {1.0 - args.threshold:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ from tools.colibri_lint.rules.citations import ConstantCitationRule
 from tools.colibri_lint.rules.clocks import DirectClockRule
 from tools.colibri_lint.rules.exceptions import BroadExceptRule
 from tools.colibri_lint.rules.mutable_defaults import MutableDefaultRule
+from tools.colibri_lint.rules.printing import LibraryPrintRule
 from tools.colibri_lint.rules.randomness import UnseededRandomRule
 from tools.colibri_lint.rules.units import UnitLiteralRule
 from tools.colibri_lint.rules.verification import DiscardedVerificationRule
@@ -21,6 +22,7 @@ ALL_RULES: list = [
     MutableDefaultRule(),
     DiscardedVerificationRule(),
     ConstantCitationRule(),
+    LibraryPrintRule(),
 ]
 
 RULES_BY_ID: dict = {rule.rule_id: rule for rule in ALL_RULES}
