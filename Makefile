@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench examples quick clean
+.PHONY: install test lint flow bench examples quick clean
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
@@ -10,10 +10,17 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Repo-specific invariants (clock injection, seeded randomness, units,
-# strippable checks, ...): see docs/static_analysis.md.
+# Repo-specific invariants, both tools in one process so every file is
+# parsed exactly once: colibri-lint (per-file rules) over src/tests/tools
+# and colibri-flow (interprocedural rules) over src/repro.  See
+# docs/static_analysis.md.
 lint:
-	$(PYTHON) -m tools.colibri_lint src tests tools
+	$(PYTHON) -m tools.analysis_core
+
+# Just the interprocedural analyzer (verification-flow, determinism
+# taint, obs-guard discipline, shard process-safety).
+flow:
+	$(PYTHON) -m colibri_flow src/repro
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

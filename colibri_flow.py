@@ -1,0 +1,12 @@
+"""Repo-root shim so ``python -m colibri_flow`` works from a checkout.
+
+The real package is :mod:`tools.colibri_flow`; with ``-m`` the current
+directory lands on ``sys.path``, so this module is importable exactly
+where the Makefile and CI run it (mirrors nothing in colibri-lint only
+because that tool predates the shared ``tools/`` layout).
+"""
+
+from tools.colibri_flow.cli import main, run  # noqa: F401
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ This module provides that encoding and the trust rule:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 
 from repro.dataplane.queueing import PriorityScheduler, TrafficClass
 from repro.packets.colibri import ColibriPacket
@@ -32,12 +33,16 @@ DSCP_EF = 46  # expedited forwarding  -> Colibri EER data
 DSCP_AF41 = 34  # assured forwarding    -> Colibri control over SegRs
 DSCP_DEFAULT = 0  # default forwarding    -> best effort
 
-CLASS_TO_DSCP = {
+# Read-only views (CL010): these tables are reached from shard workers,
+# so they must be immutable rather than process-shared mutable dicts.
+CLASS_TO_DSCP = MappingProxyType({
     TrafficClass.EER_DATA: DSCP_EF,
     TrafficClass.CONTROL: DSCP_AF41,
     TrafficClass.BEST_EFFORT: DSCP_DEFAULT,
-}
-DSCP_TO_CLASS = {dscp: cls for cls, dscp in CLASS_TO_DSCP.items()}
+})
+DSCP_TO_CLASS = MappingProxyType(
+    {dscp: cls for cls, dscp in CLASS_TO_DSCP.items()}
+)
 
 
 def classify_packet(packet: ColibriPacket, authenticated: bool) -> TrafficClass:

@@ -47,6 +47,7 @@ from repro.crypto.drkey import DrkeyDeriver
 from repro.dataplane.gateway import ColibriGateway
 from repro.dataplane.hvf import ColibriKeys, eer_hvf, hop_authenticator
 from repro.dataplane.router import BorderRouter
+from repro.errors import SimulationError
 from repro.packets.colibri import ColibriPacket, PacketType
 from repro.packets.fields import EerInfo, PathField, ResInfo, Timestamp
 from repro.reservation.ids import ReservationId
@@ -262,8 +263,16 @@ def _router_workload(spec: ShardSpec):
         done = 0
         validate_batch = router.validate_batch
         for burst in batches:
-            validate_batch(burst)
-            done += len(burst)
+            verdicts = validate_batch(burst)
+            if not all(verdicts):
+                # Every packet carries an honestly computed HVF; a False
+                # verdict means the shard's crypto stack is broken and
+                # the throughput number would be meaningless.
+                raise SimulationError(
+                    f"shard {spec.shard_index}: router rejected "
+                    f"{verdicts.count(False)}/{len(verdicts)} honest packets"
+                )
+            done += len(verdicts)
         return done
 
     return loop, snapshot

@@ -380,13 +380,11 @@ class ColibriNetwork:
         while True:
             isd_as = packet.path and self._as_at(packet)
             router = self.router(isd_as)
-            span = (
-                obs.tracer.start("router.hop", {"isd_as": str(isd_as)})
-                if obs is not None
-                else None
-            )
+            span = None
+            if obs is not None:
+                span = obs.tracer.start("router.hop", {"isd_as": str(isd_as)})
             result: RouterResult = router.process(packet)
-            if span is not None:
+            if obs is not None:
                 obs.tracer.finish(span, verdict=result.verdict.value)
             verdicts.append((isd_as, result.verdict))
             if self.tracer is not None:

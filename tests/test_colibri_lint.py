@@ -223,6 +223,49 @@ class TestCL009LibraryPrint(unittest.TestCase):
         self.assertEqual([], rules_hit("reporter.print('x')\n"))
 
 
+class TestCL010ModuleState(unittest.TestCase):
+    DP = "src/repro/dataplane/tables.py"
+
+    def test_module_dict_flagged(self):
+        self.assertIn("CL010", rules_hit("CACHE = {}\n", self.DP))
+
+    def test_module_list_flagged(self):
+        self.assertIn("CL010", rules_hit("PENDING = []\n", self.DP))
+
+    def test_crypto_package_covered(self):
+        self.assertIn(
+            "CL010", rules_hit("KEYS = dict()\n", "src/repro/crypto/keys.py")
+        )
+
+    def test_annotated_assignment_flagged(self):
+        self.assertIn(
+            "CL010", rules_hit("TABLE: dict = {'a': 1}\n", self.DP)
+        )
+
+    def test_mapping_proxy_clean(self):
+        source = (
+            "from types import MappingProxyType\n"
+            "TABLE = MappingProxyType({'a': 1})\n"
+        )
+        self.assertEqual([], rules_hit(source, self.DP))
+
+    def test_immutable_bindings_clean(self):
+        source = "LANES = (0, 1, 2)\nNAMES = frozenset({'a'})\nLIMIT = 7\n"
+        self.assertEqual([], rules_hit(source, self.DP))
+
+    def test_dunder_all_exempt(self):
+        self.assertEqual([], rules_hit("__all__ = ['a', 'b']\n", self.DP))
+
+    def test_other_packages_exempt(self):
+        self.assertEqual(
+            [], rules_hit("CACHE = {}\n", "src/repro/sim/registry.py")
+        )
+
+    def test_function_local_clean(self):
+        source = "def f():\n    cache = {}\n    return cache\n"
+        self.assertEqual([], rules_hit(source, self.DP))
+
+
 class TestSuppressions(unittest.TestCase):
     def test_line_suppression(self):
         source = "def f(tag):\n    assert tag  # colibri-lint: disable=CL003\n"

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the repo's static-analysis tools.
+
+Two tools sit on top of this package:
+
+* ``tools/colibri_lint`` — single-file AST rules (CL001-CL010);
+* ``tools/colibri_flow`` — the interprocedural protocol-invariant
+  analyzer (CF001-CF004, docs/static_analysis.md "Flow analysis").
+
+They share one :class:`~tools.analysis_core.findings.Finding` record,
+one baseline format, one suppression syntax (parameterized by tool tag),
+one reporter pair, and — crucially — one per-file AST parse cache
+(:mod:`tools.analysis_core.cache`), so a combined run (``make lint``,
+which executes ``python -m tools.analysis_core``) parses every source
+file exactly once no matter how many tools inspect it.
+"""
+
+from __future__ import annotations
+
+from tools.analysis_core.baseline import (
+    BASELINE_VERSION,
+    filter_findings,
+    load_baseline,
+    write_baseline,
+)
+from tools.analysis_core.cache import AstCache, GLOBAL_CACHE
+from tools.analysis_core.context import FileContext
+from tools.analysis_core.engine import (
+    SYNTAX_ERROR_ID,
+    apply_suppressions,
+    iter_python_files,
+    relativize,
+)
+from tools.analysis_core.findings import Finding, TraceStep
+from tools.analysis_core.reporters import render_json, render_text
+
+__all__ = [
+    "AstCache",
+    "BASELINE_VERSION",
+    "FileContext",
+    "Finding",
+    "GLOBAL_CACHE",
+    "SYNTAX_ERROR_ID",
+    "TraceStep",
+    "apply_suppressions",
+    "filter_findings",
+    "iter_python_files",
+    "load_baseline",
+    "relativize",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

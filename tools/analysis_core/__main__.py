@@ -1,0 +1,6 @@
+"""``python -m tools.analysis_core`` — combined lint + flow run."""
+
+from tools.analysis_core.cli import main
+
+if __name__ == "__main__":
+    main()

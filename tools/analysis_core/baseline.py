@@ -1,0 +1,77 @@
+"""Baseline (grandfathered findings) support, shared by both tools.
+
+The baseline is a checked-in JSON file listing findings that predate an
+analyzer.  Entries match on ``(path, rule, line_text)`` — not line
+numbers — so unrelated edits that shift code around don't resurrect
+grandfathered findings, while any edit to the offending line itself
+forces a fix.
+
+Workflow: ``python -m tools.colibri_lint src/ --update-baseline`` (or the
+colibri-flow equivalent) rewrites the tool's file from the current
+findings; review the diff and commit it.  The goal is an empty baseline —
+new code must never be added to it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from tools.analysis_core.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def _entry_key(path: str, rule: str, line_text: str) -> tuple:
+    return (path, rule, line_text.strip())
+
+
+def _finding_key(finding: Finding) -> tuple:
+    return _entry_key(finding.path, finding.rule_id, finding.line_text)
+
+
+def load_baseline(path: Path) -> Counter:
+    """Multiset of grandfathered finding keys (empty if no file)."""
+    if not path.is_file():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("findings", [])
+    return Counter(
+        _entry_key(entry["path"], entry["rule"], entry.get("line_text", ""))
+        for entry in entries
+    )
+
+
+def filter_findings(findings: list, baseline: Counter) -> tuple:
+    """Split findings into (new, grandfathered) against the baseline."""
+    remaining = Counter(baseline)
+    new, grandfathered = [], []
+    for finding in findings:
+        key = _finding_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered
+
+
+def write_baseline(findings: list, path: Path, tool: str = "analysis") -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            f"Grandfathered {tool} findings. Shrink this file; never "
+            "add to it. Regenerate with --update-baseline and review the "
+            "diff."
+        ),
+        "findings": [
+            {
+                "path": finding.path,
+                "rule": finding.rule_id,
+                "line_text": finding.line_text.strip(),
+            }
+            for finding in findings
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

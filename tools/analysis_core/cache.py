@@ -1,0 +1,55 @@
+"""Process-wide AST parse cache.
+
+Both analysis tools ask for :class:`~tools.analysis_core.context.FileContext`
+objects through here.  The cache keys on the resolved filesystem path, so
+a combined run (``python -m tools.analysis_core``, which executes
+colibri-lint *and* colibri-flow) parses each source file exactly once —
+``parse_count`` exists so tests can assert that.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from tools.analysis_core.context import FileContext
+
+
+class AstCache:
+    """Path-keyed cache of parsed :class:`FileContext` objects."""
+
+    def __init__(self):
+        self._contexts: dict = {}
+        #: Number of actual ``ast.parse`` invocations (cache misses).
+        self.parse_count = 0
+
+    def get(self, file_path: Path, rel_path: str) -> FileContext:
+        """The parsed context for ``file_path``, reading it on first use.
+
+        Raises ``OSError``/``UnicodeDecodeError`` if the file is
+        unreadable and ``SyntaxError`` if it does not parse — callers
+        turn those into ``CL000``/``CF000`` findings.
+        """
+        key = str(Path(file_path).resolve())
+        cached = self._contexts.get(key)
+        if cached is not None:
+            return cached
+        source = Path(file_path).read_text(encoding="utf-8")
+        ctx = self.parse(source, rel_path)
+        self._contexts[key] = ctx
+        return ctx
+
+    def parse(self, source: str, rel_path: str) -> FileContext:
+        """Parse an in-memory blob (not cached — no stable key)."""
+        self.parse_count += 1
+        return FileContext(rel_path, source)
+
+    def invalidate(self, file_path: Optional[Path] = None) -> None:
+        if file_path is None:
+            self._contexts.clear()
+        else:
+            self._contexts.pop(str(Path(file_path).resolve()), None)
+
+
+#: The cache shared by every tool in this process.
+GLOBAL_CACHE = AstCache()

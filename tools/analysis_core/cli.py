@@ -1,0 +1,74 @@
+"""Combined runner: colibri-lint + colibri-flow in one process.
+
+``make lint`` executes ``python -m tools.analysis_core`` so both tools
+share :data:`~tools.analysis_core.cache.GLOBAL_CACHE` — every file under
+``src`` is parsed exactly once even though lint checks it file-by-file
+and flow loads it into a whole-program model.  Reports and baselines
+stay per-tool (``.colibri-lint-baseline.json`` /
+``.colibri-flow-baseline.json``); the combined exit code is 1 if either
+tool reports a non-grandfathered finding.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from tools.analysis_core import baseline as baseline_mod
+from tools.analysis_core.reporters import render_text
+
+#: What each tool covers in a combined run (lint sweeps the whole repo's
+#: Python, flow reasons about the production protocol tree).
+LINT_PATHS = ("src", "tests", "tools")
+FLOW_PATHS = ("src/repro",)
+
+
+def run(argv=None) -> int:
+    from tools.colibri_flow.api import analyze_paths
+    from tools.colibri_flow.cli import DEFAULT_BASELINE_NAME as FLOW_BASELINE
+    from tools.colibri_lint import baseline as lint_baseline_mod
+    from tools.colibri_lint.engine import lint_paths
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv:
+        print(
+            "usage: python -m tools.analysis_core  (no arguments; use "
+            "`python -m tools.colibri_lint` or `python -m colibri_flow` "
+            "for per-tool options)",
+            file=sys.stderr,
+        )
+        return 2
+
+    exit_code = 0
+
+    lint_findings = lint_paths(list(LINT_PATHS))
+    known = lint_baseline_mod.load_baseline(
+        Path(lint_baseline_mod.DEFAULT_BASELINE_NAME)
+    )
+    lint_findings, lint_old = lint_baseline_mod.filter_findings(
+        lint_findings, known
+    )
+    print(
+        render_text(
+            lint_findings, grandfathered_count=len(lint_old), tool="colibri-lint"
+        )
+    )
+    if lint_findings:
+        exit_code = 1
+
+    flow_findings, _ = analyze_paths(list(FLOW_PATHS))
+    known = baseline_mod.load_baseline(Path(FLOW_BASELINE))
+    flow_findings, flow_old = baseline_mod.filter_findings(flow_findings, known)
+    print(
+        render_text(
+            flow_findings, grandfathered_count=len(flow_old), tool="colibri-flow"
+        )
+    )
+    if flow_findings:
+        exit_code = 1
+
+    return exit_code
+
+
+def main() -> None:
+    raise SystemExit(run())

@@ -1,0 +1,98 @@
+"""Per-file analysis context shared by all rules of all tools.
+
+A :class:`FileContext` parses one Python source file once (AST plus a
+comment map extracted with :mod:`tokenize`) and answers the path-scoping
+questions rules care about: is this production library code under
+``src/repro``, is it the one module allowed to read the wall clock, and
+so on.  Contexts are cached process-wide by
+:class:`tools.analysis_core.cache.AstCache`, so a run of both tools
+parses each file exactly once.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+
+
+class FileContext:
+    """Parsed view of one source file handed to every rule."""
+
+    def __init__(self, rel_path: str, source: str):
+        #: Posix-style path used in findings, scoping and baselines.
+        self.rel_path = rel_path.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.rel_path)
+        #: line number -> comment text (including the leading ``#``).
+        self.comments: dict[int, str] = {}
+        try:
+            for token in tokenize.generate_tokens(io.StringIO(source).readline):
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except tokenize.TokenizeError:
+            # ast.parse accepted the file, so the comment map is merely
+            # incomplete; rules degrade to "no suppressions seen".
+            pass
+
+    # -- path scoping ----------------------------------------------------------
+
+    @property
+    def parts(self) -> tuple:
+        return tuple(part for part in self.rel_path.split("/") if part)
+
+    @property
+    def filename(self) -> str:
+        return self.parts[-1] if self.parts else self.rel_path
+
+    @property
+    def is_test(self) -> bool:
+        return "tests" in self.parts or self.filename.startswith("test_")
+
+    @property
+    def is_production(self) -> bool:
+        """Library code under ``repro`` — where strict rules apply."""
+        return "repro" in self.parts and not self.is_test
+
+    @property
+    def is_clock_module(self) -> bool:
+        return self.rel_path.endswith("repro/util/clock.py")
+
+    @property
+    def is_constants_module(self) -> bool:
+        return self.rel_path.endswith("repro/constants.py")
+
+    @property
+    def is_obs_module(self) -> bool:
+        """Inside the observability machinery itself (``repro/obs/``)."""
+        return "/repro/obs/" in f"/{self.rel_path}"
+
+    @property
+    def module_name(self) -> str:
+        """Dotted module name derived from the path.
+
+        Strips a leading ``src/`` source root, drops the ``.py`` suffix,
+        and maps ``__init__`` files onto their package — the name the
+        flow analyzer's import resolution keys on.
+        """
+        parts = list(self.parts)
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if not parts:
+            return ""
+        last = parts[-1]
+        if last.endswith(".py"):
+            last = last[: -len(".py")]
+        if last == "__init__":
+            parts = parts[:-1]
+        else:
+            parts = parts[:-1] + [last]
+        return ".".join(parts)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""

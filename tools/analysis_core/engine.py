@@ -1,0 +1,86 @@
+"""File collection and suppression handling shared by both tools.
+
+Suppression syntax (searched in comments; ``TAG`` is the tool's name,
+``colibri-lint`` or ``colibri-flow``):
+
+* ``# TAG: disable=CL003`` on the offending line silences the listed
+  rule(s) (comma-separated; ``all`` silences everything) for that line
+  only;
+* ``# TAG: disable-file=CL003`` anywhere in a file silences the listed
+  rule(s) for the whole file.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Optional
+
+from tools.analysis_core.context import FileContext
+from tools.analysis_core.findings import Finding
+
+#: Rule ID used for files the parser rejects; not a real rule, but it
+#: must fail an analysis run like one.
+SYNTAX_ERROR_ID = "CL000"
+
+
+def _parse_rule_list(raw: str) -> set:
+    return {part.strip().upper() for part in raw.split(",") if part.strip()}
+
+
+def iter_python_files(paths: Iterable) -> list:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            found.append(path)
+    return found
+
+
+def relativize(path: Path, root: Optional[Path] = None) -> str:
+    """Posix path relative to ``root`` (default cwd) when possible."""
+    base = (root or Path.cwd()).resolve()
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(base).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def suppression_patterns(tag: str) -> tuple:
+    """Compiled ``(line, file)`` suppression regexes for a tool tag."""
+    return (
+        re.compile(rf"{re.escape(tag)}:\s*disable=([A-Za-z0-9,\s]+)"),
+        re.compile(rf"{re.escape(tag)}:\s*disable-file=([A-Za-z0-9,\s]+)"),
+    )
+
+
+def apply_suppressions(ctx: FileContext, findings: list, tag: str) -> list:
+    """Drop findings silenced by ``# TAG: disable=...`` comments."""
+    line_re, file_re = suppression_patterns(tag)
+    file_disabled: set = set()
+    line_disabled: dict = {}
+    for line, comment in ctx.comments.items():
+        file_match = file_re.search(comment)
+        if file_match:
+            file_disabled |= _parse_rule_list(file_match.group(1))
+        line_match = line_re.search(comment)
+        if line_match:
+            line_disabled.setdefault(line, set()).update(
+                _parse_rule_list(line_match.group(1))
+            )
+
+    def suppressed(finding: Finding) -> bool:
+        if finding.rule_id in file_disabled or "ALL" in file_disabled:
+            return True
+        on_line = line_disabled.get(finding.line, set())
+        return finding.rule_id in on_line or "ALL" in on_line
+
+    return [finding for finding in findings if not suppressed(finding)]

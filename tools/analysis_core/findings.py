@@ -1,0 +1,63 @@
+"""The :class:`Finding` record produced by every analysis rule.
+
+Shared by ``colibri_lint`` (local AST rules) and ``colibri_flow``
+(interprocedural rules).  Flow findings may carry a *taint trace* — the
+chain of source locations a value travelled through before reaching the
+flagged sink — rendered indented under the finding by the text reporter
+and as a ``trace`` array in JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One hop of a taint/flow trace attached to a finding."""
+
+    path: str
+    line: int
+    note: str
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "note": self.note}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line_text`` carries the stripped source line; the baseline matches on
+    it (rather than on line numbers) so grandfathered findings survive
+    unrelated edits that shift lines around.
+    """
+
+    path: str  # posix-style path, relative to the analysis root where possible
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    line_text: str = field(default="", compare=False)
+    #: Flow rules attach the path a value took from source to sink;
+    #: empty for single-location (lint) findings.  Not part of identity:
+    #: the same defect reported with a longer or shorter trace is still
+    #: the same defect.
+    trace: tuple = field(default=(), compare=False)
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "line_text": self.line_text,
+        }
+        if self.trace:
+            payload["trace"] = [step.to_dict() for step in self.trace]
+        return payload

@@ -1,0 +1,46 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+Shared by both tools; flow findings additionally render their taint
+trace — indented ``via`` lines in text, a ``trace`` array in JSON.  The
+JSON schema is documented in docs/static_analysis.md and is stable:
+``{"tool", "findings": [{path, line, col, rule, message, line_text,
+trace?}], "count", "grandfathered"}``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+
+def render_text(findings: list, grandfathered_count: int = 0, tool: str = "colibri-lint") -> str:
+    lines = []
+    for finding in findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule_id} {finding.message}"
+        )
+        for step in finding.trace:
+            lines.append(f"    via {step.path}:{step.line}: {step.note}")
+    if findings:
+        per_rule = Counter(finding.rule_id for finding in findings)
+        breakdown = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(per_rule.items())
+        )
+        lines.append("")
+        lines.append(f"{len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append(f"{tool}: clean")
+    if grandfathered_count:
+        lines.append(f"{grandfathered_count} grandfathered finding(s) in baseline")
+    return "\n".join(lines)
+
+
+def render_json(findings: list, grandfathered_count: int = 0, tool: str = "colibri-lint") -> str:
+    payload = {
+        "tool": tool,
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+        "grandfathered": grandfathered_count,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,38 @@
+"""colibri-flow — interprocedural protocol-invariant analyzer.
+
+Where colibri-lint (``tools/colibri_lint``) checks one file at a time,
+colibri-flow loads the whole ``src/repro`` tree, builds a call graph and
+per-function data-flow summaries, and proves four properties the Colibri
+paper's protocol depends on but no single-file check can see:
+
+* **CF001 verification-flow** — a value returned from a MAC / HVF
+  verification helper must reach a forwarding decision on every path
+  (the interprocedural generalization of lint rule CL007);
+* **CF002 determinism taint** — wall-clock and entropy sources must not
+  flow into protocol state outside the sanctioned clock module;
+* **CF003 obs-guard discipline** — instrumentation calls through an
+  optional observability context must be dominated by an
+  ``obs is not None``-style guard (the 0%-overhead-when-disabled
+  contract);
+* **CF004 shard process-safety** — functions submitted to the shard
+  executor must stay shared-nothing: module-level callables reaching no
+  mutable module globals (paper §7.1's linear multi-core scaling).
+
+Pure stdlib, layered on :mod:`tools.analysis_core` (one AST parse cache,
+one finding/baseline/suppression format shared with colibri-lint).
+
+Run it::
+
+    python -m colibri_flow src/repro            # or: make flow
+    python -m colibri_flow --list-rules
+    python -m colibri_flow --format json src/repro
+
+Suppress a finding with ``# colibri-flow: disable=CF002`` on the line or
+``# colibri-flow: disable-file=CF004`` anywhere in the file.
+"""
+
+from __future__ import annotations
+
+from tools.colibri_flow.api import analyze_paths, analyze_sources
+
+__all__ = ["analyze_paths", "analyze_sources"]

@@ -1,0 +1,6 @@
+"""``python -m tools.colibri_flow`` entry point."""
+
+from tools.colibri_flow.cli import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Programmatic entry points: build an analysis, run the rules.
+
+``analyze_paths`` is what the CLI calls; ``analyze_sources`` runs the
+same pipeline over in-memory ``{rel_path: source}`` mappings, which is
+how the test fixtures exercise each rule without touching disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from tools.analysis_core.cache import GLOBAL_CACHE
+from tools.analysis_core.engine import (
+    apply_suppressions,
+    iter_python_files,
+    relativize,
+)
+from tools.analysis_core.findings import Finding
+from tools.colibri_flow.callgraph import CallGraph
+from tools.colibri_flow.dataflow import TaintEngine
+from tools.colibri_flow.project import Project
+
+#: Pseudo-rule for files the parser rejects (flow's analogue of CL000).
+SYNTAX_ERROR_ID = "CF000"
+
+#: Suppression comment tag: ``# colibri-flow: disable=CF003``.
+SUPPRESSION_TAG = "colibri-flow"
+
+
+class Analysis:
+    """Project + call graph + (lazy) taint summaries, handed to rules."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.graph = CallGraph(project)
+        self._taint: Optional[TaintEngine] = None
+
+    @property
+    def taint(self) -> TaintEngine:
+        if self._taint is None:
+            self._taint = TaintEngine(self.project, self.graph)
+        return self._taint
+
+
+def _run_rules(project: Project, rules=None) -> List[Finding]:
+    if rules is None:
+        from tools.colibri_flow.rules import ALL_RULES
+
+        rules = ALL_RULES
+    analysis = Analysis(project)
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(analysis))
+    # Suppression comments, per file.
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    kept: List[Finding] = []
+    contexts = {
+        module.ctx.rel_path: module.ctx for module in project.modules.values()
+    }
+    for path, group in by_path.items():
+        ctx = contexts.get(path)
+        if ctx is None:
+            kept.extend(group)
+        else:
+            kept.extend(apply_suppressions(ctx, group, SUPPRESSION_TAG))
+    # Two resolution candidates can report the same defect; identity
+    # ignores traces, so dict.fromkeys collapses them.
+    return sorted(dict.fromkeys(kept), key=lambda finding: finding.sort_key)
+
+
+def analyze_sources(sources: Dict[str, str], rules=None) -> List[Finding]:
+    """Run flow rules over in-memory sources (used by the test suite)."""
+    return _run_rules(Project.load_sources(sources), rules=rules)
+
+
+def analyze_paths(
+    paths, rules=None, root: Optional[Path] = None
+) -> Tuple[List[Finding], Project]:
+    """Run flow rules over files/directories.
+
+    Unreadable or unparseable files become ``CF000`` findings, mirroring
+    colibri-lint's ``CL000`` contract that a broken file fails the run.
+    """
+    findings: List[Finding] = []
+    project = Project()
+    for file_path in iter_python_files(paths):
+        rel = relativize(file_path, root)
+        try:
+            ctx = GLOBAL_CACHE.get(file_path, rel)
+        except (OSError, UnicodeDecodeError) as error:
+            findings.append(
+                Finding(
+                    path=rel, line=1, col=0, rule_id=SYNTAX_ERROR_ID,
+                    message=f"cannot read file: {error}", line_text="",
+                )
+            )
+            continue
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=rel, line=error.lineno or 1, col=error.offset or 0,
+                    rule_id=SYNTAX_ERROR_ID,
+                    message=f"syntax error: {error.msg}", line_text="",
+                )
+            )
+            continue
+        project.add_module(ctx)
+    project.finish()
+    findings.extend(_run_rules(project, rules=rules))
+    return sorted(findings, key=lambda finding: finding.sort_key), project

@@ -1,0 +1,244 @@
+"""Project call graph with per-call-site target resolution.
+
+Resolution tries, in order:
+
+1. the whole ``func`` chain as a dotted name through the module's
+   import/alias tables (handles ``verify_mac(...)``,
+   ``mac.verify_mac(...)``, ``ClassName.method(...)``, and stdlib calls
+   like ``time.monotonic()`` which resolve to *external* dotted names);
+2. receiver typing via :mod:`tools.colibri_flow.typeinfer` plus an
+   approximate-MRO method lookup (handles ``self.monitor.check(...)``);
+3. a unique-name fallback: if exactly one class in the whole project
+   defines the method and the name isn't a generic container/protocol
+   method, assume that's the callee.
+
+Nested function bodies are *not* part of their parent's call sites —
+each nested def is its own graph node; closure-style execution (a
+worker calling a callback returned by a factory) is modeled by the
+CF004 rule pulling every visited function's nested defs into the
+closure.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.colibri_flow.project import FunctionInfo, Project, dotted_name
+from tools.colibri_flow.typeinfer import ExprTyper
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Method names too generic for the unique-name fallback: matching one
+#: of these against an arbitrary project class would wire ``list.append``
+#: and friends into the graph.
+_GENERIC_METHODS = frozenset(
+    {
+        "append", "add", "get", "pop", "update", "items", "keys", "values",
+        "copy", "clear", "extend", "insert", "remove", "sort", "join",
+        "split", "strip", "encode", "decode", "format", "read", "write",
+        "close", "flush", "count", "index", "setdefault", "popitem",
+        "discard", "hexdigest", "digest", "isoformat", "timestamp",
+        "startswith", "endswith", "lower", "upper", "replace", "reset",
+        "run", "start", "stop", "finish", "send", "put", "submit", "map",
+    }
+)
+
+
+@dataclass
+class CallTargets:
+    """Everything we know about one call site."""
+
+    name: str = ""  # syntactic terminal name: ``verify_mac``, ``map`` …
+    functions: Set[str] = field(default_factory=set)
+    classes: Set[str] = field(default_factory=set)
+    external: Optional[str] = None  # dotted external name, e.g. ``time.time``
+
+
+def iter_own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function defs."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNC_NODES):
+                continue
+            stack.append(child)
+
+
+class CallGraph:
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.edges: Dict[str, Set[str]] = {}
+        self._targets: Dict[Tuple[str, int], CallTargets] = {}
+        self.typers: Dict[str, ExprTyper] = {}
+        self._own_nodes: Dict[str, List[ast.AST]] = {}
+        self._calls: Dict[str, List[ast.Call]] = {}
+        self._parents: Dict[str, Dict[int, ast.AST]] = {}
+        for fn in list(project.functions.values()):
+            self._analyze_function(fn)
+
+    # -- queries ------------------------------------------------------
+
+    def targets_for(self, fn: FunctionInfo, call: ast.Call) -> CallTargets:
+        return self._targets.get((fn.qname, id(call)), CallTargets())
+
+    def own_nodes(self, fn: FunctionInfo) -> List[ast.AST]:
+        """Cached :func:`iter_own_nodes` — the fixpoint engines re-walk
+        function bodies every round, so walk each body once."""
+        nodes = self._own_nodes.get(fn.qname)
+        if nodes is None:
+            nodes = list(iter_own_nodes(fn.node))
+            self._own_nodes[fn.qname] = nodes
+        return nodes
+
+    def parent_map(self, fn: FunctionInfo) -> Dict[int, ast.AST]:
+        """Cached child-id -> parent map over a function's own nodes."""
+        parents = self._parents.get(fn.qname)
+        if parents is None:
+            parents = {}
+            for node in self.own_nodes(fn):
+                for child in ast.iter_child_nodes(node):
+                    parents[id(child)] = node
+            self._parents[fn.qname] = parents
+        return parents
+
+    def calls_in(self, fn: FunctionInfo) -> List[ast.Call]:
+        calls = self._calls.get(fn.qname)
+        if calls is None:
+            calls = [
+                node for node in self.own_nodes(fn) if isinstance(node, ast.Call)
+            ]
+            self._calls[fn.qname] = calls
+        return calls
+
+    def callees(self, qname: str) -> Set[str]:
+        return self.edges.get(qname, set())
+
+    def nested_functions(self, qname: str) -> List[FunctionInfo]:
+        prefix = f"{qname}.<locals>."
+        return [
+            fn
+            for name, fn in self.project.functions.items()
+            if name.startswith(prefix)
+        ]
+
+    # -- construction -------------------------------------------------
+
+    def _analyze_function(self, fn: FunctionInfo) -> None:
+        project = self.project
+        module = project.modules.get(fn.module)
+        if module is None:
+            return
+        self_class = project.class_info(fn.class_qname)
+        typer = ExprTyper(project, module, fn, self_class)
+        self.typers[fn.qname] = typer
+        aliases = self._local_callables(fn, typer)
+        edges = self.edges.setdefault(fn.qname, set())
+        for call in self.calls_in(fn):
+            targets = self._resolve(fn, typer, call, aliases)
+            self._targets[(fn.qname, id(call))] = targets
+            edges |= targets.functions
+            for cls_qname in targets.classes:
+                init = project.lookup_method(cls_qname, "__init__")
+                if init is not None:
+                    edges.add(init.qname)
+
+    def _local_callables(self, fn, typer: ExprTyper) -> Dict[str, Set[str]]:
+        """Bound-method aliases: ``validate = router.validate_batch``.
+
+        Hot loops in this codebase hoist method lookups into locals; a
+        later ``validate(burst)`` call must still resolve to the method,
+        or CF001 would miss exactly the sites the fast path hides.
+        """
+        project = self.project
+        module = project.modules[fn.module]
+        aliases: Dict[str, Set[str]] = {}
+        for node in iter_own_nodes(fn.node):
+            if not isinstance(node, ast.Assign) or isinstance(node.value, ast.Call):
+                continue
+            value = node.value
+            resolved: Set[str] = set()
+            dotted = dotted_name(value)
+            if dotted is not None and not dotted.startswith("self."):
+                qname = project.resolve_name(module, dotted)
+                if qname in project.functions:
+                    resolved.add(qname)
+            if not resolved and isinstance(value, ast.Attribute):
+                receiver_classes = typer.classes_of(value.value)
+                for cls_qname in receiver_classes:
+                    method = project.lookup_method(cls_qname, value.attr)
+                    if method is not None:
+                        resolved.add(method.qname)
+                if (
+                    not receiver_classes
+                    and value.attr not in _GENERIC_METHODS
+                ):
+                    # Closure receivers (``router`` captured from the
+                    # enclosing workload factory) defeat the typer; a
+                    # project-unique method name still pins the callee.
+                    fallback = project.unique_method(value.attr)
+                    if fallback is not None:
+                        resolved.add(fallback.qname)
+            if not resolved:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    aliases.setdefault(target.id, set()).update(resolved)
+        return aliases
+
+    def _resolve(
+        self, fn, typer: ExprTyper, call: ast.Call, aliases=None
+    ) -> CallTargets:
+        project = self.project
+        module = project.modules[fn.module]
+        func = call.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else ""
+        )
+        targets = CallTargets(name=name)
+
+        dotted = dotted_name(func)
+        if dotted is not None and not dotted.startswith("self."):
+            resolved = project.resolve_name(module, dotted)
+            if resolved is not None:
+                if resolved in project.functions:
+                    targets.functions.add(resolved)
+                    return targets
+                if resolved in project.classes:
+                    targets.classes.add(resolved)
+                    return targets
+                if resolved not in project.modules:
+                    # Dotted but unmodeled: keep as external for
+                    # pattern-matching rules (``time.monotonic`` …).
+                    targets.external = resolved
+                    # Fall through: a typed receiver may still win.
+
+        if isinstance(func, ast.Attribute):
+            receiver_classes = typer.classes_of(func.value)
+            for cls_qname in receiver_classes:
+                method = project.lookup_method(cls_qname, name)
+                if method is not None:
+                    targets.functions.add(method.qname)
+            if targets.functions:
+                targets.external = None
+                return targets
+            if not receiver_classes and name not in _GENERIC_METHODS:
+                fallback = project.unique_method(name)
+                if fallback is not None:
+                    targets.functions.add(fallback.qname)
+                    targets.external = None
+                    return targets
+        elif isinstance(func, ast.Name) and targets.external is None:
+            if aliases and name in aliases:
+                targets.functions |= aliases[name]
+                return targets
+            # Possibly a nested function defined in this same body.
+            nested = project.functions.get(f"{fn.qname}.<locals>.{name}")
+            if nested is not None:
+                targets.functions.add(nested.qname)
+        return targets

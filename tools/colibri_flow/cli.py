@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m colibri_flow [paths...]``.
+
+Mirrors colibri-lint's CLI exactly (same flags, same exit codes, same
+baseline semantics): 0 clean (modulo baseline), 1 findings, 2 usage
+error.  The default path is ``src/repro`` — flow rules reason about the
+production protocol tree, not tests or tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.analysis_core import baseline as baseline_mod
+from tools.analysis_core.reporters import render_json, render_text
+from tools.colibri_flow.api import analyze_paths
+from tools.colibri_flow.rules import ALL_RULES, RULES_BY_ID
+
+DEFAULT_BASELINE_NAME = ".colibri-flow-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m colibri_flow",
+        description=(
+            "Interprocedural protocol-invariant analyzer for the Colibri "
+            "reproduction: verification-flow, determinism taint, obs-guard "
+            "discipline, and shard process-safety."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline JSON of grandfathered findings (default: "
+            f"{DEFAULT_BASELINE_NAME} in the cwd, if present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def _pick_rules(select, ignore) -> list:
+    chosen = list(ALL_RULES)
+    if select:
+        wanted = {rule_id.strip().upper() for rule_id in select.split(",")}
+        unknown = wanted - set(RULES_BY_ID)
+        if unknown:
+            raise SystemExit(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        chosen = [rule for rule in chosen if rule.rule_id in wanted]
+    if ignore:
+        skipped = {rule_id.strip().upper() for rule_id in ignore.split(",")}
+        chosen = [rule for rule in chosen if rule.rule_id not in skipped]
+    return chosen
+
+
+def _safe_print(text: str) -> None:
+    try:
+        print(text)
+    except BrokenPipeError:
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
+def run(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            _safe_print(f"{rule.rule_id}  {rule.name}")
+            _safe_print(f"       {rule.rationale}")
+        return 0
+
+    try:
+        rules = _pick_rules(args.select, args.ignore)
+    except SystemExit as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    findings, _ = analyze_paths(args.paths, rules=rules)
+
+    baseline_path = Path(args.baseline or DEFAULT_BASELINE_NAME)
+    if args.update_baseline:
+        baseline_mod.write_baseline(findings, baseline_path, tool="colibri-flow")
+        _safe_print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    grandfathered: list = []
+    if not args.no_baseline:
+        known = baseline_mod.load_baseline(baseline_path)
+        findings, grandfathered = baseline_mod.filter_findings(findings, known)
+
+    renderer = render_json if args.format == "json" else render_text
+    _safe_print(
+        renderer(
+            findings,
+            grandfathered_count=len(grandfathered),
+            tool="colibri-flow",
+        )
+    )
+    return 1 if findings else 0
+
+
+def main() -> None:
+    raise SystemExit(run())

@@ -1,0 +1,439 @@
+"""Interprocedural taint engine (backs rule CF002).
+
+Per function we compute, flow-insensitively, which *source tags* (dotted
+names of nondeterminism sources: ``time.time``, ``datetime.datetime.now``,
+``os.urandom`` …) can reach each local name, then summarize:
+
+* ``returns``      — source tags that can reach a ``return`` (with the
+  site where the source call happened, for traces);
+* ``params_to_return`` — parameter indices whose value can reach a
+  ``return`` (so taint flows through helpers like ``int(...)`` wrappers
+  written in-project);
+* ``params_to_state``  — parameter indices whose value can reach an
+  attribute / subscript store or a PRNG seed (so the *caller* holding
+  the tainted value gets the finding, with a trace into the callee).
+
+Summaries are iterated to a fixpoint over the call graph (the codebase
+has no deep summary chains; the loop is capped defensively).  Functions
+in the sanctioned clock module are the determinism boundary: their
+summaries are forced empty, so ``clock.now()`` values are clean by
+construction — that is exactly the paper's simulation-reproducibility
+contract (inject time, never read the wall clock).
+
+Everything here is also reusable with a different source table, which
+is how the tests exercise the engine in isolation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from tools.colibri_flow.callgraph import CallGraph, CallTargets, iter_own_nodes
+from tools.colibri_flow.project import FunctionInfo, Project
+
+Site = Tuple[str, int]  # (rel_path, line)
+
+#: Dotted names whose call result is nondeterministic.
+WALL_CLOCK_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.monotonic",
+        "time.perf_counter",
+        "time.time_ns",
+        "time.monotonic_ns",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+ENTROPY_SOURCES = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid4",
+        "uuid.uuid1",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.uniform",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.getrandbits",
+        "random.randbytes",
+        "random.gauss",
+    }
+)
+
+DEFAULT_SOURCES = WALL_CLOCK_SOURCES | ENTROPY_SOURCES
+
+
+def source_kind(tag: str) -> str:
+    return "wall-clock" if tag in WALL_CLOCK_SOURCES else "entropy"
+
+
+@dataclass
+class Sink:
+    """A place where tainted data enters protocol state."""
+
+    fn: FunctionInfo
+    node: ast.AST
+    kind: str  # "state-store" | "prng-seed" | "callee-state"
+    tags: Dict[str, Optional[Site]]
+    detail: str = ""
+    trace: Tuple = ()
+
+
+@dataclass
+class TaintSummary:
+    returns: Dict[str, Optional[Site]] = field(default_factory=dict)
+    params_to_return: Set[int] = field(default_factory=set)
+    params_to_state: Set[int] = field(default_factory=set)
+    #: per state-reaching param: one representative store site + label
+    param_state_sites: Dict[int, Tuple[Site, str]] = field(default_factory=dict)
+
+    def snapshot(self):
+        return (
+            frozenset(self.returns),
+            frozenset(self.params_to_return),
+            frozenset(self.params_to_state),
+        )
+
+
+def _param_tag(index: int) -> str:
+    return f"<param:{index}>"
+
+
+def _is_param_tag(tag: str) -> bool:
+    return tag.startswith("<param:")
+
+
+def _param_index(tag: str) -> int:
+    return int(tag[len("<param:") : -1])
+
+
+class TaintEngine:
+    def __init__(
+        self,
+        project: Project,
+        graph: CallGraph,
+        sources: frozenset = DEFAULT_SOURCES,
+    ) -> None:
+        self.project = project
+        self.graph = graph
+        self.sources = sources
+        self.summaries: Dict[str, TaintSummary] = {}
+        self.sinks: List[Sink] = []
+        self._solve()
+
+    # -- driver -------------------------------------------------------
+
+    def _solve(self) -> None:
+        functions = list(self.project.functions.values())
+        for fn in functions:
+            self.summaries[fn.qname] = TaintSummary()
+        # callee -> callers, to re-summarize only affected functions.
+        callers: Dict[str, Set[str]] = {}
+        for caller, callees in self.graph.edges.items():
+            for callee in callees:
+                callers.setdefault(callee, set()).add(caller)
+        pending = list(functions)
+        rounds: Dict[str, int] = {}
+        while pending:
+            batch, pending = pending, []
+            queued: Set[str] = set()
+            for fn in batch:
+                if rounds.get(fn.qname, 0) >= 10:
+                    continue  # defensive cap; summaries only ever grow
+                rounds[fn.qname] = rounds.get(fn.qname, 0) + 1
+                new = self._summarize(fn, collect_sinks=False)
+                if new.snapshot() == self.summaries[fn.qname].snapshot():
+                    continue
+                self.summaries[fn.qname] = new
+                for caller_qname in callers.get(fn.qname, ()):
+                    if caller_qname not in queued:
+                        queued.add(caller_qname)
+                        caller = self.project.function(caller_qname)
+                        if caller is not None:
+                            pending.append(caller)
+        for fn in functions:
+            self._summarize(fn, collect_sinks=True)
+
+    def _sanctioned(self, fn: FunctionInfo) -> bool:
+        return fn.ctx.is_clock_module
+
+    @staticmethod
+    def _entropy_sanctioned(fn: FunctionInfo) -> bool:
+        """Is crypto-strength entropy legitimate here?
+
+        ``repro/crypto`` is the entropy boundary the way ``util/clock``
+        is the wall-clock boundary: AEAD nonces and AS secret values
+        *must* be unpredictable (a deterministic nonce is a security
+        bug), and reproducible runs get determinism by injecting seeds
+        (``DrkeyDeriver(seed=...)``), not by derandomizing the crypto.
+        Wall-clock reads stay banned inside crypto; entropy reads stay
+        banned outside it.
+        """
+        return "/repro/crypto/" in f"/{fn.ctx.rel_path}"
+
+    # -- per-function analysis ---------------------------------------
+
+    def _summarize(self, fn: FunctionInfo, collect_sinks: bool) -> TaintSummary:
+        summary = TaintSummary()
+        if self._sanctioned(fn):
+            return summary
+        env: Dict[str, Dict[str, Optional[Site]]] = {}
+        params = fn.params
+        start = 1 if fn.is_method and params and params[0] in ("self", "cls") else 0
+        for index in range(start, len(params)):
+            env[params[index]] = {_param_tag(index): None}
+
+        nodes = self.graph.own_nodes(fn)
+        for _ in range(3):
+            before = {name: set(tags) for name, tags in env.items()}
+            for node in nodes:
+                self._transfer(fn, node, env)
+            if {name: set(tags) for name, tags in env.items()} == before:
+                break
+
+        for node in nodes:
+            if isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+                for tag, site in self._expr_tags(fn, node.value, env).items():
+                    if _is_param_tag(tag):
+                        summary.params_to_return.add(_param_index(tag))
+                    else:
+                        summary.returns.setdefault(tag, site)
+            else:
+                self._check_sinks(fn, node, env, summary, collect_sinks)
+        return summary
+
+    def _transfer(self, fn, node, env) -> None:
+        if isinstance(node, ast.Assign):
+            tags = self._expr_tags(fn, node.value, env)
+            if tags:
+                for target in node.targets:
+                    self._bind(target, tags, env)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            tags = self._expr_tags(fn, node.value, env)
+            if tags:
+                self._bind(node.target, tags, env)
+        elif isinstance(node, ast.AugAssign):
+            tags = self._expr_tags(fn, node.value, env)
+            if tags:
+                self._bind(node.target, tags, env)
+        elif isinstance(node, ast.NamedExpr):
+            tags = self._expr_tags(fn, node.value, env)
+            if tags:
+                self._bind(node.target, tags, env)
+        elif isinstance(node, ast.For):
+            tags = self._expr_tags(fn, node.iter, env)
+            if tags:
+                self._bind(node.target, tags, env)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            tags = self._expr_tags(fn, node.context_expr, env)
+            if tags:
+                self._bind(node.optional_vars, tags, env)
+
+    def _bind(self, target, tags, env) -> None:
+        if isinstance(target, ast.Name):
+            env.setdefault(target.id, {})
+            for tag, site in tags.items():
+                env[target.id].setdefault(tag, site)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, tags, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tags, env)
+        # Attribute / Subscript targets are sinks, handled separately.
+
+    # -- expression taint --------------------------------------------
+
+    def _expr_tags(self, fn, expr, env) -> Dict[str, Optional[Site]]:
+        found: Dict[str, Optional[Site]] = {}
+        self._collect_tags(fn, expr, env, found, depth=0)
+        return found
+
+    def _collect_tags(self, fn, expr, env, found, depth) -> None:
+        if depth > 30 or expr is None:
+            return
+        if isinstance(expr, ast.Name):
+            for tag, site in env.get(expr.id, {}).items():
+                found.setdefault(tag, site)
+            return
+        if isinstance(expr, ast.Call):
+            for tag, site in self._call_tags(fn, expr, env, depth).items():
+                found.setdefault(tag, site)
+            return
+        if isinstance(expr, ast.Attribute):
+            self._collect_tags(fn, expr.value, env, found, depth + 1)
+            return
+        if isinstance(expr, ast.IfExp):
+            self._collect_tags(fn, expr.body, env, found, depth + 1)
+            self._collect_tags(fn, expr.orelse, env, found, depth + 1)
+            return
+        if isinstance(expr, ast.Lambda):
+            return  # deferred execution; out of scope
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._collect_tags(fn, child, env, found, depth + 1)
+
+    def _call_tags(self, fn, call: ast.Call, env, depth) -> Dict[str, Optional[Site]]:
+        targets = self.graph.targets_for(fn, call)
+        site: Site = (fn.ctx.rel_path, call.lineno)
+
+        tag = self._source_tag(targets)
+        if tag is not None:
+            if tag in ENTROPY_SOURCES and self._entropy_sanctioned(fn):
+                return {}
+            return {tag: site}
+
+        result: Dict[str, Optional[Site]] = {}
+        if targets.functions:
+            for callee_qname in targets.functions:
+                callee = self.project.function(callee_qname)
+                summary = self.summaries.get(callee_qname)
+                if callee is None or summary is None:
+                    continue
+                for callee_tag, callee_site in summary.returns.items():
+                    result.setdefault(callee_tag, callee_site or site)
+                if summary.params_to_return:
+                    for index, arg in self._map_args(callee, call):
+                        if index in summary.params_to_return:
+                            self._collect_tags(fn, arg, env, result, depth + 1)
+            return result
+
+        # Unresolved or external non-source call: conservatively pass
+        # argument taint through (``int(time.time())``, constructors of
+        # unmodeled classes, …).
+        for arg in call.args:
+            self._collect_tags(fn, arg, env, result, depth + 1)
+        for keyword in call.keywords:
+            self._collect_tags(fn, keyword.value, env, result, depth + 1)
+        return result
+
+    def _source_tag(self, targets: CallTargets) -> Optional[str]:
+        external = targets.external
+        if external in self.sources:
+            return external
+        return None
+
+    def _map_args(self, callee: FunctionInfo, call: ast.Call):
+        """Yield ``(param_index, arg_expr)`` pairs for a call site."""
+        offset = 0
+        if (
+            callee.is_method
+            and callee.params
+            and callee.params[0] in ("self", "cls")
+            and isinstance(call.func, ast.Attribute)
+        ):
+            offset = 1
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            yield position + offset, arg
+        by_name = {name: index for index, name in enumerate(callee.params)}
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in by_name:
+                yield by_name[keyword.arg], keyword.value
+
+    # -- sinks --------------------------------------------------------
+
+    def _check_sinks(self, fn, node, env, summary: TaintSummary, collect) -> None:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            if value is None:
+                return
+            stateful = [
+                target
+                for target in targets
+                if isinstance(target, (ast.Attribute, ast.Subscript))
+            ]
+            if not stateful:
+                return
+            tags = self._expr_tags(fn, value, env)
+            self._record_state_sink(
+                fn, node, tags, summary, collect, "state-store",
+                detail=_target_text(stateful[0]),
+            )
+        elif isinstance(node, ast.Call):
+            self._check_call_sinks(fn, node, env, summary, collect)
+
+    def _check_call_sinks(self, fn, call, env, summary, collect) -> None:
+        targets = self.graph.targets_for(fn, call)
+        # PRNG seeding: random.Random(x) / rng.seed(x).
+        is_seed = targets.name == "seed" or (
+            targets.external or ""
+        ) == "random.Random"
+        if is_seed and (call.args or call.keywords):
+            tags: Dict[str, Optional[Site]] = {}
+            for arg in call.args:
+                self._collect_tags(fn, arg, env, tags, 0)
+            for keyword in call.keywords:
+                self._collect_tags(fn, keyword.value, env, tags, 0)
+            self._record_state_sink(
+                fn, call, tags, summary, collect, "prng-seed", detail="seed"
+            )
+        # Tainted argument handed to a callee that stores it.
+        for callee_qname in targets.functions:
+            callee = self.project.function(callee_qname)
+            callee_summary = self.summaries.get(callee_qname)
+            if callee is None or callee_summary is None:
+                continue
+            if not callee_summary.params_to_state:
+                continue
+            for index, arg in self._map_args(callee, call):
+                if index not in callee_summary.params_to_state:
+                    continue
+                tags = self._expr_tags(fn, arg, env)
+                store_site, store_label = callee_summary.param_state_sites.get(
+                    index, (None, "")
+                )
+                trace = ()
+                if store_site is not None:
+                    trace = (
+                        (
+                            store_site,
+                            f"stored into {store_label or 'state'} inside "
+                            f"{callee.name}()",
+                        ),
+                    )
+                self._record_state_sink(
+                    fn, call, tags, summary, collect, "callee-state",
+                    detail=f"argument to {callee.name}()", trace=trace,
+                )
+
+    def _record_state_sink(
+        self, fn, node, tags, summary, collect, kind, detail="", trace=()
+    ) -> None:
+        if not tags:
+            return
+        site: Site = (fn.ctx.rel_path, node.lineno)
+        real = {tag: s for tag, s in tags.items() if not _is_param_tag(tag)}
+        for tag in tags:
+            if _is_param_tag(tag):
+                index = _param_index(tag)
+                summary.params_to_state.add(index)
+                summary.param_state_sites.setdefault(index, (site, detail))
+        if collect and real:
+            self.sinks.append(
+                Sink(fn=fn, node=node, kind=kind, tags=real, detail=detail,
+                     trace=trace)
+            )
+
+
+def _target_text(target: ast.AST) -> str:
+    try:
+        return ast.unparse(target)
+    except (ValueError, AttributeError):  # unparse is near-total on exprs
+        return "<state>"

@@ -1,0 +1,406 @@
+"""Whole-program model: modules, symbol tables, and name resolution.
+
+A :class:`Project` is built once per run from every ``.py`` file under
+the analyzed paths (plus, when analyzing a subtree of ``src/``, nothing
+else — unresolved imports simply resolve to ``None`` and the rules fall
+back to name heuristics).  Parsing goes through
+:data:`tools.analysis_core.cache.GLOBAL_CACHE`, so a combined
+lint-plus-flow run parses each file exactly once.
+
+Qualified names ("qnames") are canonical strings:
+
+* modules:    ``repro.dataplane.router``
+* functions:  ``repro.crypto.mac.verify_mac``
+* classes:    ``repro.dataplane.router.BorderRouter``
+* methods:    ``repro.dataplane.router.BorderRouter._authenticate``
+* nested:     ``repro.dataplane.shards._gateway_workload.<locals>.loop``
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from tools.analysis_core.cache import GLOBAL_CACHE
+from tools.analysis_core.context import FileContext
+from tools.analysis_core.engine import iter_python_files, relativize
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qname: str
+    module: str
+    ctx: FileContext
+    node: ast.AST
+    class_qname: Optional[str] = None
+    parent_qname: Optional[str] = None  # enclosing function for nested defs
+    params: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qname is not None
+
+    @property
+    def is_nested(self) -> bool:
+        return self.parent_qname is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its locally-resolvable base names."""
+
+    qname: str
+    module: str
+    ctx: FileContext
+    node: ast.ClassDef
+    base_names: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.<attr>`` -> candidate class qnames, filled by the type pass.
+    attr_types: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+@dataclass
+class GlobalBinding:
+    """A module-level data binding (``NAME = <expr>`` at top level)."""
+
+    module: str
+    name: str
+    node: ast.stmt
+    value: Optional[ast.expr]
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    ctx: FileContext
+    #: ``from a.b import c as d`` -> ``{"d": "a.b.c"}``
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: ``import a.b as z`` -> ``{"z": "a.b"}``; ``import a.b`` -> ``{"a": "a"}``
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    globals: Dict[str, GlobalBinding] = field(default_factory=dict)
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+
+
+class Project:
+    """All loaded modules plus cross-module name resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: bare method name -> every FunctionInfo defining it (fallback
+        #: resolution when receiver types are unknown).
+        self.method_index: Dict[str, List[FunctionInfo]] = {}
+
+    # -- loading ------------------------------------------------------
+
+    @classmethod
+    def load_paths(cls, paths, root=None) -> "Project":
+        project = cls()
+        for file_path in iter_python_files(paths):
+            rel = relativize(file_path, root)
+            try:
+                ctx = GLOBAL_CACHE.get(file_path, rel)
+            except (OSError, SyntaxError, UnicodeDecodeError):
+                continue  # the CLI reports these separately
+            project.add_module(ctx)
+        project.finish()
+        return project
+
+    @classmethod
+    def load_sources(cls, sources: Dict[str, str]) -> "Project":
+        """Build a project from in-memory ``{rel_path: source}`` (tests)."""
+        project = cls()
+        for rel_path, source in sources.items():
+            project.add_module(GLOBAL_CACHE.parse(source, rel_path))
+        project.finish()
+        return project
+
+    def add_module(self, ctx: FileContext) -> ModuleInfo:
+        info = ModuleInfo(name=ctx.module_name, ctx=ctx)
+        self.modules[info.name] = info
+        self._collect_imports(info)
+        self._collect_definitions(info)
+        return info
+
+    def finish(self) -> None:
+        """Run passes that need every module present."""
+        for module in self.modules.values():
+            for cls_info in module.classes.values():
+                for method in cls_info.methods.values():
+                    self.method_index.setdefault(method.name, []).append(method)
+        from tools.colibri_flow.typeinfer import infer_attribute_types
+
+        infer_attribute_types(self)
+
+    # -- collection ---------------------------------------------------
+
+    def _collect_imports(self, info: ModuleInfo) -> None:
+        for node in ast.walk(info.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        info.module_aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a``.
+                        head = alias.name.split(".")[0]
+                        info.module_aliases[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = self._from_base(info, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    info.imports[bound] = f"{base}.{alias.name}"
+
+    @staticmethod
+    def _from_base(info: ModuleInfo, node: ast.ImportFrom) -> Optional[str]:
+        if not node.level:
+            return node.module
+        # Relative import: resolve against this module's package.
+        parts = info.name.split(".")
+        is_package = info.ctx.rel_path.endswith("__init__.py")
+        drop = node.level - 1 if is_package else node.level
+        if drop > len(parts):
+            return None
+        base_parts = parts[: len(parts) - drop] if drop else parts
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts) if base_parts else None
+
+    def _collect_definitions(self, info: ModuleInfo) -> None:
+        for node in info.ctx.tree.body:
+            if isinstance(node, _FUNC_NODES):
+                self._add_function(info, node, class_info=None, parent=None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(info, node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        info.globals[target.id] = GlobalBinding(
+                            info.name, target.id, node, node.value
+                        )
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                info.globals[node.target.id] = GlobalBinding(
+                    info.name, node.target.id, node, node.value
+                )
+
+    def _add_function(self, info, node, class_info, parent) -> FunctionInfo:
+        if class_info is not None:
+            qname = f"{class_info.qname}.{node.name}"
+        elif parent is not None:
+            qname = f"{parent.qname}.<locals>.{node.name}"
+        else:
+            qname = f"{info.name}.{node.name}"
+        args = node.args
+        params = [arg.arg for arg in args.posonlyargs + args.args + args.kwonlyargs]
+        fn = FunctionInfo(
+            qname=qname,
+            module=info.name,
+            ctx=info.ctx,
+            node=node,
+            class_qname=class_info.qname if class_info else None,
+            parent_qname=parent.qname if parent else None,
+            params=params,
+        )
+        self.functions[qname] = fn
+        if class_info is not None:
+            class_info.methods[node.name] = fn
+        elif parent is None:
+            info.functions[node.name] = fn
+        for child in ast.walk(node):
+            if isinstance(child, _FUNC_NODES) and child is not node:
+                if self._direct_parent_is(node, child):
+                    self._add_function(info, child, class_info=None, parent=fn)
+        return fn
+
+    @staticmethod
+    def _direct_parent_is(parent: ast.AST, child: ast.AST) -> bool:
+        """Is ``child`` defined directly inside ``parent`` (not deeper)?"""
+        for node in ast.walk(parent):
+            if isinstance(node, _FUNC_NODES) and node is not parent:
+                if child is node:
+                    continue
+                if any(sub is child for sub in ast.walk(node)):
+                    return False
+        return True
+
+    def _add_class(self, info: ModuleInfo, node: ast.ClassDef) -> None:
+        cls_info = ClassInfo(
+            qname=f"{info.name}.{node.name}",
+            module=info.name,
+            ctx=info.ctx,
+            node=node,
+            base_names=[
+                name
+                for name in (dotted_name(base) for base in node.bases)
+                if name
+            ],
+        )
+        info.classes[node.name] = cls_info
+        self.classes[cls_info.qname] = cls_info
+        for child in node.body:
+            if isinstance(child, _FUNC_NODES):
+                self._add_function(info, child, class_info=cls_info, parent=None)
+
+    # -- resolution ---------------------------------------------------
+
+    def resolve_name(self, module: ModuleInfo, dotted: str) -> Optional[str]:
+        """Resolve a dotted name used inside ``module`` to a qname."""
+        head, _, rest = dotted.partition(".")
+        if head in module.imports:
+            return self._chase(module.imports[head] + (f".{rest}" if rest else ""))
+        if head in module.module_aliases:
+            target = module.module_aliases[head]
+            return self._chase(f"{target}.{rest}" if rest else target)
+        return self._resolve_in(module, head, rest)
+
+    def _resolve_in(
+        self, module: ModuleInfo, head: str, rest: str, _depth: int = 0
+    ) -> Optional[str]:
+        """Resolve ``head(.rest)`` against one module's namespace."""
+        if _depth > 8:
+            return None
+        if head in module.functions and not rest:
+            return module.functions[head].qname
+        if head in module.classes:
+            cls_qname = module.classes[head].qname
+            return f"{cls_qname}.{rest}" if rest else cls_qname
+        if head in module.globals and not rest:
+            return f"{module.name}.{head}"
+        if head in module.imports:
+            target = module.imports[head] + (f".{rest}" if rest else "")
+            return self._chase(target, _depth + 1)
+        if head in module.module_aliases:
+            target = module.module_aliases[head]
+            return self._chase(f"{target}.{rest}" if rest else target, _depth + 1)
+        return None
+
+    def _chase(self, full: str, _depth: int = 0) -> Optional[str]:
+        """Canonicalize a fully-dotted target, following re-exports."""
+        if _depth > 8:
+            return None
+        if full in self.modules:
+            return full
+        parts = full.split(".")
+        # Longest module prefix wins.
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                module = self.modules[prefix]
+                head = parts[cut]
+                rest = ".".join(parts[cut + 1 :])
+                resolved = self._resolve_in(module, head, rest, _depth + 1)
+                if resolved is not None:
+                    return resolved
+                # Defined-but-unmodeled name: keep the dotted form so
+                # callers can at least identify the module.
+                return full
+        return full if _is_external_root(parts[0]) else None
+
+    # -- lookups ------------------------------------------------------
+
+    def function(self, qname: Optional[str]) -> Optional[FunctionInfo]:
+        if qname is None:
+            return None
+        return self.functions.get(qname)
+
+    def class_info(self, qname: Optional[str]) -> Optional[ClassInfo]:
+        if qname is None:
+            return None
+        return self.classes.get(qname)
+
+    def mro(self, cls_qname: str) -> List[ClassInfo]:
+        """Locally-resolvable ancestors, nearest first (approximate MRO)."""
+        seen: Set[str] = set()
+        order: List[ClassInfo] = []
+        stack = [cls_qname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            order.append(info)
+            module = self.modules.get(info.module)
+            for base_name in info.base_names:
+                resolved = (
+                    self.resolve_name(module, base_name) if module else None
+                )
+                if resolved:
+                    stack.append(resolved)
+        return order
+
+    def lookup_method(self, cls_qname: str, method: str) -> Optional[FunctionInfo]:
+        for info in self.mro(cls_qname):
+            if method in info.methods:
+                return info.methods[method]
+        return None
+
+    def unique_method(self, name: str) -> Optional[FunctionInfo]:
+        """The single project-wide method with this name, if unambiguous."""
+        candidates = self.method_index.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+#: Stdlib / third-party roots we keep as dotted names (so rules can
+#: pattern-match ``time.monotonic`` etc.) instead of dropping them.
+_EXTERNAL_ROOTS = frozenset(
+    {
+        "time",
+        "datetime",
+        "random",
+        "secrets",
+        "os",
+        "uuid",
+        "multiprocessing",
+        "concurrent",
+        "threading",
+        "hashlib",
+        "hmac",
+        "struct",
+        "json",
+        "math",
+        "itertools",
+        "functools",
+        "collections",
+        "types",
+        "dataclasses",
+    }
+)
+
+
+def _is_external_root(root: str) -> bool:
+    return root in _EXTERNAL_ROOTS

@@ -1,0 +1,20 @@
+"""Flow-rule registry, in rule-ID order."""
+
+from __future__ import annotations
+
+from tools.colibri_flow.rules.base import FlowRule
+from tools.colibri_flow.rules.cf001_verification_flow import VerificationFlowRule
+from tools.colibri_flow.rules.cf002_determinism import DeterminismTaintRule
+from tools.colibri_flow.rules.cf003_obs_guard import ObsGuardRule
+from tools.colibri_flow.rules.cf004_shard_safety import ShardSafetyRule
+
+ALL_RULES: list = [
+    VerificationFlowRule(),
+    DeterminismTaintRule(),
+    ObsGuardRule(),
+    ShardSafetyRule(),
+]
+
+RULES_BY_ID: dict = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = ["FlowRule", "ALL_RULES", "RULES_BY_ID"]

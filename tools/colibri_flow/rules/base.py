@@ -1,0 +1,46 @@
+"""Flow-rule interface.
+
+Unlike colibri-lint rules (one :class:`FileContext` at a time), a flow
+rule sees the whole :class:`~tools.colibri_flow.api.Analysis` — project,
+call graph, taint summaries — and yields findings across files.  The
+shared :class:`~tools.analysis_core.findings.Finding` type carries an
+optional ``trace`` so interprocedural findings can show the path from
+source to sink.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from tools.analysis_core.context import FileContext
+from tools.analysis_core.findings import Finding, TraceStep
+
+
+class FlowRule:
+    rule_id: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, analysis) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: FileContext,
+        line: int,
+        col: int,
+        message: str,
+        trace: Tuple = (),
+    ) -> Finding:
+        return Finding(
+            path=ctx.rel_path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            message=message,
+            line_text=ctx.line_text(line),
+            trace=tuple(
+                step if isinstance(step, TraceStep) else TraceStep(*step)
+                for step in trace
+            ),
+        )

@@ -1,0 +1,355 @@
+"""CF001 — verification verdicts must reach a forwarding decision.
+
+The interprocedural generalization of lint rule CL007.  CL007 can see
+``constant_time_equal(...)`` called as a bare statement; it cannot see
+that ``router.validate_batch(burst)`` *returns the HVF verdicts* and
+that discarding that list accepts every packet in the burst (the paper's
+§4.6 pipeline is verify-then-forward at every hop — a verdict that
+reaches no branch is a forged packet forwarded).
+
+The analysis classifies every project function to a fixpoint:
+
+* **raising** — the body contains ``raise``; failure escapes as an
+  exception, so statement position is fine (``verify_mac``,
+  ``AuthenticatedRequest.verify_at`` …);
+* **verdict carrier** — the return value is *decided by* a
+  verification: it returns verification-derived data, returns under a
+  branch whose test is a verification, or returns another carrier's
+  result.  ``_authenticate`` (returns under ``constant_time_equal``
+  branches), ``_validate_one``, ``validate_batch`` and the whole
+  ``process*`` pipeline become carriers this way.
+
+At every call site of a carrier (or of an unresolved ``verify*``
+predicate), the result must be *consumed*: branch test, comparison,
+``assert`` / ``return`` / ``raise``, argument to another call, or an
+assignment whose name (transitively) reaches such a use.  A bare
+statement call, or an assignment nothing ever branches on, is a
+finding — with a trace to where the verdict was computed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.analysis_core.findings import Finding
+from tools.colibri_flow.callgraph import iter_own_nodes
+from tools.colibri_flow.project import FunctionInfo
+from tools.colibri_flow.rules.base import FlowRule
+
+# Shared vocabulary with the single-file rule (CL007).
+from tools.colibri_lint.rules.verification import (
+    PREDICATE_VERIFIERS,
+    RAISING_VERIFIERS,
+)
+
+Step = Tuple[str, int, str]
+
+
+def build_parent_map(fn: FunctionInfo) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in iter_own_nodes(fn.node):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+_PASS_THROUGH = (
+    ast.Tuple,
+    ast.List,
+    ast.Set,
+    ast.Dict,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.Starred,
+    ast.Attribute,
+    ast.BinOp,
+    ast.Await,
+    ast.FormattedValue,
+    ast.JoinedStr,
+)
+
+_CONSUMING_EXPR = (ast.Compare, ast.BoolOp, ast.UnaryOp)
+_CONSUMING_STMT = (ast.Assert, ast.Return, ast.Raise)
+
+
+def consumption(node: ast.AST, parents: Dict[int, ast.AST]):
+    """How is this expression's value used?
+
+    Returns ``("consumed", ())``, ``("discarded", ())``, or
+    ``("assigned", names)`` when the value lands in local names whose
+    later uses decide the verdict's fate.
+    """
+    current = node
+    while True:
+        parent = parents.get(id(current))
+        if parent is None:
+            return ("consumed", ())
+        if isinstance(parent, (ast.Call, ast.keyword)):
+            return ("consumed", ())
+        if isinstance(parent, _CONSUMING_EXPR) or isinstance(
+            parent, (ast.Yield, ast.YieldFrom)
+        ):
+            return ("consumed", ())
+        if isinstance(parent, _CONSUMING_STMT):
+            return ("consumed", ())
+        if isinstance(parent, (ast.If, ast.While)):
+            return ("consumed", ())  # the value is the branch test
+        if isinstance(parent, ast.IfExp):
+            if current is parent.test:
+                return ("consumed", ())
+            current = parent
+            continue
+        if isinstance(parent, ast.comprehension):
+            if current is parent.iter or any(
+                current is test for test in parent.ifs
+            ):
+                return ("consumed", ())
+            current = parent
+            continue
+        if isinstance(parent, ast.Subscript):
+            if current is parent.slice:
+                return ("consumed", ())
+            current = parent
+            continue
+        if isinstance(parent, ast.For):
+            return ("consumed", ())  # loop over the verdicts
+        if isinstance(parent, (ast.withitem, ast.AugAssign, ast.NamedExpr)):
+            return ("consumed", ())
+        if isinstance(parent, ast.Expr):
+            return ("discarded", ())
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                parent.targets
+                if isinstance(parent, ast.Assign)
+                else [parent.target]
+            )
+            names = tuple(
+                target.id for target in targets if isinstance(target, ast.Name)
+            )
+            if names:
+                return ("assigned", names)
+            # Tuple-unpacked or stored into object state: give the
+            # benefit of the doubt (the container is state, not a local).
+            return ("consumed", ())
+        if isinstance(parent, _PASS_THROUGH):
+            current = parent
+            continue
+        current = parent
+
+
+class _Classifier:
+    """Project-wide raising/carrier classification, run to a fixpoint."""
+
+    def __init__(self, analysis) -> None:
+        self.analysis = analysis
+        self.raising: Dict[str, bool] = {}
+        self.carriers: Dict[str, Tuple[Step, ...]] = {}
+        for fn in analysis.project.functions.values():
+            self.raising[fn.qname] = any(
+                isinstance(node, ast.Raise)
+                for node in analysis.graph.own_nodes(fn)
+            )
+        for _ in range(10):
+            changed = False
+            for fn in analysis.project.functions.values():
+                if fn.qname in self.carriers:
+                    continue
+                origin = self._carrier_origin(fn)
+                if origin is not None:
+                    self.carriers[fn.qname] = origin
+                    changed = True
+            if not changed:
+                break
+
+    # -- verification-call detection ---------------------------------
+
+    def verification_origin(
+        self, fn: FunctionInfo, call: ast.Call
+    ) -> Optional[Tuple[Step, ...]]:
+        """If this call is a predicate verification, where its verdict
+        comes from (trace steps); ``None`` for non-verification or
+        raising-verifier calls."""
+        targets = self.analysis.graph.targets_for(fn, call)
+        name = targets.name
+        site: Step = (fn.ctx.rel_path, call.lineno, f"{name}() verdict produced here")
+
+        for qname in targets.functions:
+            if qname in self.carriers:
+                callee = self.analysis.project.function(qname)
+                step: Step = (
+                    callee.ctx.rel_path,
+                    callee.node.lineno,
+                    f"{callee.name}() decides its result by verification",
+                )
+                return (step,) + self.carriers[qname][:2]
+        if name in PREDICATE_VERIFIERS:
+            return (site,)
+        if not name.startswith("verify"):
+            return None
+        if targets.functions:
+            # Resolved verify*: raising ones are fine in any position;
+            # non-raising, non-carrier ones return a report the caller
+            # must read (e.g. forensics.verify_evidence).
+            for qname in targets.functions:
+                if not self.raising.get(qname, False):
+                    callee = self.analysis.project.function(qname)
+                    return (
+                        (
+                            callee.ctx.rel_path,
+                            callee.node.lineno,
+                            f"{callee.name}() returns its result instead of raising",
+                        ),
+                    )
+            return None
+        if name in RAISING_VERIFIERS:
+            return None
+        return (site,)
+
+    # -- carrier classification --------------------------------------
+
+    def _carrier_origin(self, fn: FunctionInfo) -> Optional[Tuple[Step, ...]]:
+        parents = self.analysis.graph.parent_map(fn)
+        carrier_names = self._carrier_names(fn)
+
+        def expr_origin(expr: ast.AST) -> Optional[Tuple[Step, ...]]:
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Call):
+                    origin = self.verification_origin(fn, sub)
+                    if origin is not None:
+                        return origin
+                elif (
+                    isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Load)
+                    and sub.id in carrier_names
+                ):
+                    return carrier_names[sub.id]
+            return None
+
+        for node in self.analysis.graph.own_nodes(fn):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            # (a) returns verification-derived data
+            origin = expr_origin(node.value)
+            if origin is not None:
+                return origin
+            # (b) returns under a verification-decided branch
+            current: ast.AST = node
+            while True:
+                parent = parents.get(id(current))
+                if parent is None:
+                    break
+                if isinstance(parent, (ast.If, ast.While)):
+                    origin = expr_origin(parent.test)
+                    if origin is not None:
+                        return origin
+                current = parent
+        return None
+
+    def _carrier_names(
+        self, fn: FunctionInfo
+    ) -> Dict[str, Tuple[Step, ...]]:
+        """Local names holding verification-derived values."""
+        names: Dict[str, Tuple[Step, ...]] = {}
+        for _ in range(3):
+            changed = False
+            for node in self.analysis.graph.own_nodes(fn):
+                if not isinstance(node, ast.Assign):
+                    continue
+                origin = None
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Call):
+                        origin = self.verification_origin(fn, sub)
+                    elif (
+                        isinstance(sub, ast.Name)
+                        and isinstance(sub.ctx, ast.Load)
+                        and sub.id in names
+                    ):
+                        origin = names[sub.id]
+                    if origin is not None:
+                        break
+                if origin is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id not in names:
+                        names[target.id] = origin
+                        changed = True
+            if not changed:
+                break
+        return names
+
+
+class VerificationFlowRule(FlowRule):
+    rule_id = "CF001"
+    name = "verification-reaches-decision"
+    rationale = (
+        "A verification verdict that reaches no branch, return, or raise "
+        "accepts forged packets; every carrier of a MAC/HVF result must "
+        "flow into the forwarding decision on every path."
+    )
+
+    def check(self, analysis) -> Iterator[Finding]:
+        classifier = _Classifier(analysis)
+        for fn in analysis.project.functions.values():
+            if not fn.ctx.is_production or fn.ctx.is_test:
+                continue
+            parents = analysis.graph.parent_map(fn)
+            for call in analysis.graph.calls_in(fn):
+                origin = classifier.verification_origin(fn, call)
+                if origin is None:
+                    continue
+                status, names = consumption(call, parents)
+                if status == "consumed":
+                    continue
+                if status == "assigned" and self._has_decision_use(
+                    analysis.graph.own_nodes(fn), names, parents
+                ):
+                    continue
+                verb = (
+                    "is discarded"
+                    if status == "discarded"
+                    else f"is bound to {', '.join(names)} but never decides anything"
+                )
+                call_name = analysis.graph.targets_for(fn, call).name or "verification"
+                yield self.finding(
+                    fn.ctx,
+                    call.lineno,
+                    call.col_offset,
+                    f"verification result of {call_name}() {verb}; the "
+                    "verdict must reach a branch, return, or raise",
+                    trace=origin,
+                )
+
+    @staticmethod
+    def _has_decision_use(nodes, names, parents) -> bool:
+        tracked: Set[str] = set(names)
+        for _ in range(3):
+            grew = False
+            for node in nodes:
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not any(
+                    isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Load)
+                    and sub.id in tracked
+                    for sub in ast.walk(node.value)
+                ):
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id not in tracked:
+                        tracked.add(target.id)
+                        grew = True
+            if not grew:
+                break
+        for node in nodes:
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in tracked
+            ):
+                status, _ = consumption(node, parents)
+                if status == "consumed":
+                    return True
+        return False

@@ -1,0 +1,86 @@
+"""CF002 — nondeterminism must not taint protocol state.
+
+The reproduction's results (and the paper's attack/defense timelines)
+are only checkable because every component runs on an injected clock and
+a seeded RNG — lint rules CL001/CL002 ban the *syntax* of ``time.time()``
+and bare ``random.*`` outside ``repro/util/clock.py``.  This rule closes
+the interprocedural gap: a wall-clock or entropy value that is obtained
+legally (or smuggled through a helper's return value) still must never
+reach *protocol state* — an attribute or mapping store, or a PRNG seed.
+
+Sinks, from :class:`~tools.colibri_flow.dataflow.TaintEngine`:
+
+* ``state-store``  — ``self.x = <tainted>`` / ``table[k] = <tainted>``;
+* ``prng-seed``    — ``random.Random(<tainted>)`` / ``rng.seed(<tainted>)``
+  (seeds must come from injected config, never from time or entropy);
+* ``callee-state`` — a tainted argument handed to a function whose
+  summary says that parameter reaches state (trace points at the store).
+
+Two sanctioned boundaries exist, one per source kind:
+
+* ``repro/util/clock.py`` for **wall-clock** — values returned by the
+  injected clock are clean, which is what makes ``self.t0 =
+  clock.now()`` legal while ``self.t0 = time.time()`` is not;
+* ``repro/crypto/`` for **entropy** — AEAD nonces and AS secret values
+  must be unpredictable (a deterministic nonce is a security bug);
+  reproducible runs inject seeds (``DrkeyDeriver(seed=...)``) instead
+  of derandomizing the crypto.  Entropy read *outside* the crypto
+  package, and wall-clock read *inside* it, are still findings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from tools.analysis_core.findings import Finding, TraceStep
+from tools.colibri_flow.dataflow import source_kind
+from tools.colibri_flow.rules.base import FlowRule
+
+
+class DeterminismTaintRule(FlowRule):
+    rule_id = "CF002"
+    name = "no-nondeterminism-into-state"
+    rationale = (
+        "Wall-clock and entropy values flowing into protocol state make "
+        "runs unreproducible; time and randomness enter only through the "
+        "injected clock and seeded RNGs."
+    )
+
+    def check(self, analysis) -> Iterator[Finding]:
+        for sink in analysis.taint.sinks:
+            fn = sink.fn
+            ctx = fn.ctx
+            if not ctx.is_production or ctx.is_test or ctx.is_clock_module:
+                continue
+            tags = sorted(sink.tags)
+            kinds = sorted({source_kind(tag) for tag in tags})
+            trace = []
+            for tag in tags[:3]:
+                site = sink.tags[tag]
+                if site is not None:
+                    trace.append(
+                        TraceStep(site[0], site[1], f"{tag}() read here")
+                    )
+            for step in sink.trace:
+                (path, line), note = step
+                trace.append(TraceStep(path, line, note))
+            if sink.kind == "prng-seed":
+                message = (
+                    f"PRNG seeded from {'/'.join(kinds)} source "
+                    f"({', '.join(tags)}); seeds must come from injected "
+                    "configuration"
+                )
+            else:
+                where = sink.detail or "state"
+                message = (
+                    f"{'/'.join(kinds)} value ({', '.join(tags)}) flows "
+                    f"into protocol state via {where}; route it through "
+                    "the injected clock/config instead"
+                )
+            yield self.finding(
+                ctx,
+                sink.node.lineno,
+                getattr(sink.node, "col_offset", 0),
+                message,
+                trace=tuple(trace),
+            )

@@ -1,0 +1,311 @@
+"""CF004 — shard workloads must stay shared-nothing.
+
+Paper §7.1's linear multi-core scaling argument rests on shards sharing
+*nothing*: each worker process builds its own router/gateway stack and
+communicates only through the submitted spec and the returned outcome.
+Two things silently break that:
+
+* a submitted entry point that isn't a plain module-level function
+  (lambda, nested def, bound method) — unpicklable or, worse, a closure
+  capturing parent-process state;
+* any function *reachable from* the entry point touching mutable
+  module-level state — under ``fork`` every worker inherits a divergent
+  copy, under ``spawn`` re-import resets it; either way the "linear
+  scaling because shared-nothing" claim becomes unsound.
+
+The rule finds submission sites (``multiprocessing.Pool(...).map/...``,
+``ProcessPoolExecutor.submit/map``, ``Process(target=...)``), resolves
+the entry, and walks the call graph from it — including every visited
+function's *nested* defs, which models the ``loop, snapshot =
+_workload(spec); loop()`` callback pattern without tracking function
+values.  Inside the closure it flags reads of mutable module globals
+(``dict``/``list``/``set`` bindings — immutable tables like tuples,
+``frozenset`` and ``MappingProxyType`` wrappers pass), ``global``
+writes, and subscript/attribute stores to module globals.  Each finding
+carries the call chain from the submitted entry as a trace.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.analysis_core.findings import Finding, TraceStep
+from tools.colibri_flow.callgraph import iter_own_nodes
+from tools.colibri_flow.project import FunctionInfo, GlobalBinding, dotted_name
+from tools.colibri_flow.rules.base import FlowRule
+
+# Same mutability judgment as lint rule CL010 — one definition of
+# "mutable module-level container" across both tools.
+from tools.colibri_lint.rules.module_state import is_mutable_container
+
+#: Pool-ish constructors (terminal call name or external dotted name).
+POOL_CTORS = frozenset({"Pool", "ProcessPoolExecutor"})
+#: Methods that ship a callable to worker processes.
+SUBMIT_METHODS = frozenset(
+    {"map", "imap", "imap_unordered", "starmap", "starmap_async", "apply",
+     "apply_async", "map_async", "submit"}
+)
+
+
+def _terminal_name(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return ""
+
+
+def _is_pool_ctor(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call) and _terminal_name(expr.func) in POOL_CTORS
+    )
+
+
+class ShardSafetyRule(FlowRule):
+    rule_id = "CF004"
+    name = "shared-nothing-shards"
+    rationale = (
+        "Functions dispatched to worker processes must be module-level "
+        "and reach no mutable module globals; anything else breaks "
+        "pickling or the shared-nothing scaling model."
+    )
+
+    def check(self, analysis) -> Iterator[Finding]:
+        self.analysis = analysis
+        for fn in analysis.project.functions.values():
+            if not fn.ctx.is_production or fn.ctx.is_test:
+                continue
+            yield from self._check_function(fn)
+
+    # -- submission sites ---------------------------------------------
+
+    def _check_function(self, fn: FunctionInfo) -> Iterator[Finding]:
+        pool_names = self._pool_names(fn)
+        for call in self.analysis.graph.calls_in(fn):
+            entry = self._submitted_entry(fn, call, pool_names)
+            if entry is None:
+                continue
+            yield from self._check_entry(fn, call, entry)
+
+    def _pool_names(self, fn: FunctionInfo) -> Set[str]:
+        names: Set[str] = set()
+        for node in self.analysis.graph.own_nodes(fn):
+            if isinstance(node, ast.withitem) and _is_pool_ctor(
+                node.context_expr
+            ):
+                if isinstance(node.optional_vars, ast.Name):
+                    names.add(node.optional_vars.id)
+            elif isinstance(node, ast.Assign) and _is_pool_ctor(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _submitted_entry(
+        self, fn: FunctionInfo, call: ast.Call, pool_names: Set[str]
+    ) -> Optional[ast.expr]:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in SUBMIT_METHODS:
+            receiver = func.value
+            is_pool = (
+                isinstance(receiver, ast.Name) and receiver.id in pool_names
+            ) or _is_pool_ctor(receiver)
+            if is_pool and call.args:
+                return call.args[0]
+        if _terminal_name(func) == "Process":
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    return keyword.value
+        return None
+
+    # -- entry + closure ----------------------------------------------
+
+    def _check_entry(
+        self, fn: FunctionInfo, call: ast.Call, entry: ast.expr
+    ) -> Iterator[Finding]:
+        project = self.analysis.project
+        if isinstance(entry, ast.Lambda):
+            yield self.finding(
+                fn.ctx, entry.lineno, entry.col_offset,
+                "lambda submitted to a worker pool is not picklable; "
+                "dispatch a module-level function",
+            )
+            return
+        if isinstance(entry, ast.Attribute):
+            base = entry.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                yield self.finding(
+                    fn.ctx, entry.lineno, entry.col_offset,
+                    f"bound method self.{entry.attr} submitted to a worker "
+                    "pool drags the whole parent object across the process "
+                    "boundary; dispatch a module-level function",
+                )
+                return
+        name = dotted_name(entry)
+        if name is None:
+            return
+        module = project.modules.get(fn.module)
+        nested = project.functions.get(f"{fn.qname}.<locals>.{name}")
+        if nested is not None:
+            yield self.finding(
+                fn.ctx, entry.lineno, entry.col_offset,
+                f"nested function {name}() submitted to a worker pool is "
+                "not picklable (and closes over parent-process state); "
+                "move it to module level",
+            )
+            return
+        resolved = project.resolve_name(module, name) if module else None
+        entry_fn = project.function(resolved)
+        if entry_fn is None:
+            return
+        yield from self._check_closure(fn, entry_fn)
+
+    def _check_closure(
+        self, site_fn: FunctionInfo, entry: FunctionInfo
+    ) -> Iterator[Finding]:
+        project = self.analysis.project
+        graph = self.analysis.graph
+        # BFS with parent pointers for traces.
+        parent_of: Dict[str, Optional[str]] = {entry.qname: None}
+        queue: List[str] = [entry.qname]
+        seen: Set[str] = {entry.qname}
+        reported: Set[Tuple[str, str]] = set()
+        while queue:
+            qname = queue.pop(0)
+            fn = project.function(qname)
+            if fn is None:
+                continue
+            yield from self._check_worker_function(
+                fn, entry, parent_of, reported
+            )
+            neighbors = set(graph.callees(qname))
+            neighbors.update(
+                nested.qname for nested in graph.nested_functions(qname)
+            )
+            for neighbor in sorted(neighbors):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    parent_of[neighbor] = qname
+                    queue.append(neighbor)
+
+    def _trace(self, fn, entry, parent_of) -> Tuple[TraceStep, ...]:
+        steps: List[TraceStep] = []
+        current: Optional[str] = fn.qname
+        while current is not None and len(steps) < 4:
+            info = self.analysis.project.function(current)
+            hop = parent_of.get(current)
+            if info is not None and current != fn.qname:
+                steps.append(
+                    TraceStep(
+                        info.ctx.rel_path,
+                        info.node.lineno,
+                        f"reached via {info.name}()",
+                    )
+                )
+            current = hop
+        steps.append(
+            TraceStep(
+                entry.ctx.rel_path,
+                entry.node.lineno,
+                f"worker entry point {entry.name}()",
+            )
+        )
+        return tuple(steps)
+
+    # -- per-function checks inside the closure ------------------------
+
+    def _check_worker_function(
+        self, fn, entry, parent_of, reported
+    ) -> Iterator[Finding]:
+        project = self.analysis.project
+        module = project.modules.get(fn.module)
+        if module is None:
+            return
+
+        global_writes: Set[str] = set()
+        local_names: Set[str] = set(fn.params)
+        nodes = self.analysis.graph.own_nodes(fn)
+        for node in nodes:
+            if isinstance(node, ast.Global):
+                global_writes.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                local_names.add(node.id)
+        local_names -= global_writes
+
+        for node in nodes:
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                if node.id in global_writes:
+                    key = (fn.qname, f"global:{node.id}")
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield self.finding(
+                        fn.ctx, node.lineno, node.col_offset,
+                        f"worker function {fn.name}() writes module global "
+                        f"{node.id}; shard workers must be shared-nothing",
+                        trace=self._trace(fn, entry, parent_of),
+                    )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in local_names:
+                    continue
+                binding = self._module_binding(module, node.id)
+                if binding is None:
+                    continue
+                if binding.value is None or not is_mutable_container(
+                    binding.value
+                ):
+                    continue
+                key = (fn.qname, f"read:{binding.module}.{binding.name}")
+                if key in reported:
+                    continue
+                reported.add(key)
+                trace = self._trace(fn, entry, parent_of) + (
+                    TraceStep(
+                        project.modules[binding.module].ctx.rel_path,
+                        binding.node.lineno,
+                        f"mutable module-level binding {binding.name} "
+                        "defined here",
+                    ),
+                )
+                yield self.finding(
+                    fn.ctx, node.lineno, node.col_offset,
+                    f"worker-reachable {fn.name}() reads mutable module "
+                    f"global {node.id}; make it a tuple/frozenset/"
+                    "MappingProxyType or pass it through the spec",
+                    trace=trace,
+                )
+            elif isinstance(node, (ast.Subscript, ast.Attribute)) and isinstance(
+                node.ctx, ast.Store
+            ):
+                base = node.value
+                if not isinstance(base, ast.Name):
+                    continue
+                binding = self._module_binding(module, base.id)
+                if binding is None:
+                    continue
+                key = (fn.qname, f"store:{binding.module}.{binding.name}")
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield self.finding(
+                    fn.ctx, node.lineno, node.col_offset,
+                    f"worker-reachable {fn.name}() mutates module global "
+                    f"{base.id}; shard workers must be shared-nothing",
+                    trace=self._trace(fn, entry, parent_of),
+                )
+
+    def _module_binding(self, module, name: str) -> Optional[GlobalBinding]:
+        """The module-level data binding a name load refers to, if any."""
+        project = self.analysis.project
+        if name in module.globals:
+            return module.globals[name]
+        if name in module.imports:
+            resolved = project.resolve_name(module, name)
+            if resolved is None:
+                return None
+            owner_name, _, attr = resolved.rpartition(".")
+            owner = project.modules.get(owner_name)
+            if owner is not None and attr in owner.globals:
+                return owner.globals[attr]
+        return None

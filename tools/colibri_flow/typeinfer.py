@@ -1,0 +1,189 @@
+"""Lightweight local type inference: which classes can an expression be?
+
+The call graph needs receiver types for ``obj.method(...)`` calls.  We
+infer a *set of candidate class qnames* per expression from three cheap
+signals, which is all this codebase's substrate-object style needs:
+
+* parameter annotations (``monitor: DeterministicMonitor``, with
+  ``Optional[X]`` / ``X | None`` unwrapped);
+* constructor assignments (``x = BorderRouter(...)``,
+  ``self.cache = SigmaCache(...)`` inside any method);
+* ``or``-fallbacks (``clock = clock or SimClock()`` unions both arms).
+
+No flow sensitivity, no generics, no unification — unknown stays
+unknown and the call-graph falls back to unique-method-name matching.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+from tools.colibri_flow.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    dotted_name,
+)
+
+
+def annotation_classes(
+    project: Project, module: ModuleInfo, annotation: Optional[ast.expr]
+) -> Set[str]:
+    """Candidate class qnames named by a type annotation."""
+    if annotation is None:
+        return set()
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # String annotation: resolve the bare dotted text.
+        resolved = project.resolve_name(module, annotation.value.strip())
+        return {resolved} if resolved in project.classes else set()
+    if isinstance(annotation, ast.Subscript):
+        # Optional[X] / List[X] / Dict[K, V]: only Optional keeps the arg.
+        base = dotted_name(annotation.value) or ""
+        if base.split(".")[-1] == "Optional":
+            return annotation_classes(project, module, annotation.slice)
+        return set()
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return annotation_classes(
+            project, module, annotation.left
+        ) | annotation_classes(project, module, annotation.right)
+    name = dotted_name(annotation)
+    if name in (None, "None"):
+        return set()
+    resolved = project.resolve_name(module, name)
+    return {resolved} if resolved in project.classes else set()
+
+
+class ExprTyper:
+    """Types expressions inside one function body."""
+
+    def __init__(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        self_class: Optional[ClassInfo],
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.fn = fn
+        self.self_class = self_class
+        self.locals: Dict[str, Set[str]] = {}
+        self._seed_params()
+        self._scan_assignments()
+
+    def _seed_params(self) -> None:
+        args = self.fn.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            classes = annotation_classes(self.project, self.module, arg.annotation)
+            if classes:
+                self.locals[arg.arg] = set(classes)
+
+    def _scan_assignments(self) -> None:
+        # Two sweeps so ``b = a`` after ``a = Clock()`` resolves.
+        for _ in range(2):
+            for node in ast.walk(self.fn.node):
+                if isinstance(node, ast.Assign):
+                    classes = self.classes_of(node.value)
+                    if not classes:
+                        continue
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.locals.setdefault(target.id, set()).update(classes)
+                elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    classes = annotation_classes(
+                        self.project, self.module, node.annotation
+                    )
+                    if node.value is not None:
+                        classes = classes | self.classes_of(node.value)
+                    if classes:
+                        self.locals.setdefault(node.target.id, set()).update(classes)
+                elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                    classes = self.classes_of(node.context_expr)
+                    if classes and isinstance(node.optional_vars, ast.Name):
+                        self.locals.setdefault(
+                            node.optional_vars.id, set()
+                        ).update(classes)
+
+    def classes_of(self, expr: ast.expr) -> Set[str]:
+        if isinstance(expr, ast.Name):
+            found = set(self.locals.get(expr.id, ()))
+            if expr.id == "self" and self.self_class is not None:
+                found.add(self.self_class.qname)
+            return found
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            if name is None:
+                return set()
+            resolved = self.project.resolve_name(self.module, name)
+            if resolved in self.project.classes:
+                return {resolved}
+            return set()
+        if isinstance(expr, ast.Attribute):
+            # ``self.attr`` via the class attribute-type table.
+            base = expr.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id == "self"
+                and self.self_class is not None
+            ):
+                return set(self.self_class.attr_types.get(expr.attr, ()))
+            # ``obj.attr`` via the typed base's attribute table.
+            found: Set[str] = set()
+            for cls_qname in self.classes_of(base):
+                for ancestor in self.project.mro(cls_qname):
+                    found |= set(ancestor.attr_types.get(expr.attr, ()))
+            return found
+        if isinstance(expr, ast.BoolOp):
+            found = set()
+            for value in expr.values:
+                found |= self.classes_of(value)
+            return found
+        if isinstance(expr, ast.IfExp):
+            return self.classes_of(expr.body) | self.classes_of(expr.orelse)
+        if isinstance(expr, ast.NamedExpr):
+            return self.classes_of(expr.value)
+        return set()
+
+
+def infer_attribute_types(project: Project) -> None:
+    """Fill every class's ``attr_types`` from its method bodies.
+
+    Two rounds so ``self.a = SomeClass(); self.b = self.a.helper`` and
+    cross-class attribute chains settle.
+    """
+    for _ in range(2):
+        for cls_info in project.classes.values():
+            module = project.modules.get(cls_info.module)
+            if module is None:
+                continue
+            # Class-level annotations (dataclass fields).
+            for stmt in cls_info.node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    classes = annotation_classes(project, module, stmt.annotation)
+                    if classes:
+                        cls_info.attr_types.setdefault(
+                            stmt.target.id, set()
+                        ).update(classes)
+            for method in cls_info.methods.values():
+                typer = ExprTyper(project, module, method, cls_info)
+                for node in ast.walk(method.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    classes = typer.classes_of(node.value)
+                    if not classes:
+                        continue
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            cls_info.attr_types.setdefault(
+                                target.attr, set()
+                            ).update(classes)

@@ -1,69 +1,8 @@
-"""Per-file analysis context shared by all rules.
-
-A :class:`FileContext` parses one Python source file once (AST plus a
-comment map extracted with :mod:`tokenize`) and answers the path-scoping
-questions rules care about: is this production library code under
-``src/repro``, is it the one module allowed to read the wall clock, and
-so on.
-"""
+"""Compat shim: :class:`FileContext` now lives in
+:mod:`tools.analysis_core.context`, shared with colibri-flow."""
 
 from __future__ import annotations
 
-import ast
-import io
-import tokenize
+from tools.analysis_core.context import FileContext
 
-
-class FileContext:
-    """Parsed view of one source file handed to every rule."""
-
-    def __init__(self, rel_path: str, source: str):
-        #: Posix-style path used in findings, scoping and baselines.
-        self.rel_path = rel_path.replace("\\", "/")
-        self.source = source
-        self.lines = source.splitlines()
-        self.tree = ast.parse(source, filename=self.rel_path)
-        #: line number -> comment text (including the leading ``#``).
-        self.comments: dict[int, str] = {}
-        try:
-            for token in tokenize.generate_tokens(io.StringIO(source).readline):
-                if token.type == tokenize.COMMENT:
-                    self.comments[token.start[0]] = token.string
-        except tokenize.TokenizeError:
-            # ast.parse accepted the file, so the comment map is merely
-            # incomplete; rules degrade to "no suppressions seen".
-            pass
-
-    # -- path scoping ----------------------------------------------------------
-
-    @property
-    def parts(self) -> tuple:
-        return tuple(part for part in self.rel_path.split("/") if part)
-
-    @property
-    def filename(self) -> str:
-        return self.parts[-1] if self.parts else self.rel_path
-
-    @property
-    def is_test(self) -> bool:
-        return "tests" in self.parts or self.filename.startswith("test_")
-
-    @property
-    def is_production(self) -> bool:
-        """Library code under ``repro`` — where strict rules apply."""
-        return "repro" in self.parts and not self.is_test
-
-    @property
-    def is_clock_module(self) -> bool:
-        return self.rel_path.endswith("repro/util/clock.py")
-
-    @property
-    def is_constants_module(self) -> bool:
-        return self.rel_path.endswith("repro/constants.py")
-
-    # -- helpers ---------------------------------------------------------------
-
-    def line_text(self, lineno: int) -> str:
-        if 1 <= lineno <= len(self.lines):
-            return self.lines[lineno - 1].strip()
-        return ""
+__all__ = ["FileContext"]

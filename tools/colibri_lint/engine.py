@@ -1,66 +1,46 @@
-"""File collection, rule execution, and suppression handling.
+"""Rule execution for colibri-lint, on top of :mod:`tools.analysis_core`.
 
-Suppression syntax (searched in comments):
-
-* ``# colibri-lint: disable=CL003`` on the offending line silences the
-  listed rule(s) (comma-separated; ``all`` silences everything) for that
-  line only;
-* ``# colibri-lint: disable-file=CL003`` anywhere in a file silences the
-  listed rule(s) for the whole file.
+File collection, the per-file AST parse cache, and suppression handling
+(``# colibri-lint: disable=...`` / ``disable-file=...``) live in
+:mod:`tools.analysis_core.engine`; this module binds them to the lint
+rule registry.
 """
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
 from typing import Iterable, Optional
 
-from tools.colibri_lint.context import FileContext
-from tools.colibri_lint.findings import Finding
+from tools.analysis_core import GLOBAL_CACHE
+from tools.analysis_core.context import FileContext
+from tools.analysis_core.engine import (
+    SYNTAX_ERROR_ID,
+    apply_suppressions,
+    iter_python_files,
+    relativize,
+)
+from tools.analysis_core.findings import Finding
 from tools.colibri_lint.rules import ALL_RULES
 
-SUPPRESS_LINE_RE = re.compile(r"colibri-lint:\s*disable=([A-Za-z0-9,\s]+)")
-SUPPRESS_FILE_RE = re.compile(r"colibri-lint:\s*disable-file=([A-Za-z0-9,\s]+)")
-
-#: Rule ID used for files the parser rejects; not a real rule, but it
-#: must fail the lint run like one.
-SYNTAX_ERROR_ID = "CL000"
+SUPPRESSION_TAG = "colibri-lint"
 
 
-def _parse_rule_list(raw: str) -> set:
-    return {part.strip().upper() for part in raw.split(",") if part.strip()}
-
-
-def iter_python_files(paths: Iterable) -> list:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    found = []
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            found.extend(
-                candidate
-                for candidate in sorted(path.rglob("*.py"))
-                if "__pycache__" not in candidate.parts
-            )
-        elif path.suffix == ".py":
-            found.append(path)
-    return found
-
-
-def relativize(path: Path, root: Optional[Path] = None) -> str:
-    """Posix path relative to ``root`` (default cwd) when possible."""
-    base = (root or Path.cwd()).resolve()
-    resolved = path.resolve()
-    try:
-        return resolved.relative_to(base).as_posix()
-    except ValueError:
-        return resolved.as_posix()
+def check_context(ctx: FileContext, rules=None) -> list:
+    """Run the (selected) lint rules over one parsed file."""
+    findings = []
+    for rule in rules if rules is not None else ALL_RULES:
+        if rule.applies_to(ctx):
+            findings.extend(rule.check(ctx))
+    return sorted(
+        apply_suppressions(ctx, findings, SUPPRESSION_TAG),
+        key=lambda f: f.sort_key,
+    )
 
 
 def check_source(source: str, rel_path: str, rules=None) -> list:
     """Lint one in-memory source blob; returns unsuppressed findings."""
     try:
-        ctx = FileContext(rel_path, source)
+        ctx = GLOBAL_CACHE.parse(source, rel_path)
     except SyntaxError as error:
         return [
             Finding(
@@ -71,33 +51,7 @@ def check_source(source: str, rel_path: str, rules=None) -> list:
                 message=f"file does not parse: {error.msg}",
             )
         ]
-    findings = []
-    for rule in rules if rules is not None else ALL_RULES:
-        if rule.applies_to(ctx):
-            findings.extend(rule.check(ctx))
-    return sorted(_apply_suppressions(ctx, findings), key=lambda f: f.sort_key)
-
-
-def _apply_suppressions(ctx: FileContext, findings: list) -> list:
-    file_disabled: set = set()
-    line_disabled: dict = {}
-    for line, comment in ctx.comments.items():
-        file_match = SUPPRESS_FILE_RE.search(comment)
-        if file_match:
-            file_disabled |= _parse_rule_list(file_match.group(1))
-        line_match = SUPPRESS_LINE_RE.search(comment)
-        if line_match:
-            line_disabled.setdefault(line, set()).update(
-                _parse_rule_list(line_match.group(1))
-            )
-
-    def suppressed(finding: Finding) -> bool:
-        if finding.rule_id in file_disabled or "ALL" in file_disabled:
-            return True
-        on_line = line_disabled.get(finding.line, set())
-        return finding.rule_id in on_line or "ALL" in on_line
-
-    return [finding for finding in findings if not suppressed(finding)]
+    return check_context(ctx, rules)
 
 
 def lint_paths(paths: Iterable, rules=None, root: Optional[Path] = None) -> list:
@@ -106,7 +60,7 @@ def lint_paths(paths: Iterable, rules=None, root: Optional[Path] = None) -> list
     for file_path in iter_python_files(paths):
         rel_path = relativize(file_path, root)
         try:
-            source = file_path.read_text(encoding="utf-8")
+            ctx = GLOBAL_CACHE.get(file_path, rel_path)
         except (OSError, UnicodeDecodeError) as error:
             findings.append(
                 Finding(
@@ -118,5 +72,16 @@ def lint_paths(paths: Iterable, rules=None, root: Optional[Path] = None) -> list
                 )
             )
             continue
-        findings.extend(check_source(source, rel_path, rules=rules))
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=rel_path,
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    rule_id=SYNTAX_ERROR_ID,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        findings.extend(check_context(ctx, rules))
     return sorted(findings, key=lambda f: f.sort_key)

@@ -1,36 +1,8 @@
-"""The :class:`Finding` record produced by every lint rule."""
+"""Compat shim: the :class:`Finding` record now lives in
+:mod:`tools.analysis_core.findings`, shared with colibri-flow."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from tools.analysis_core.findings import Finding
 
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation at one source location.
-
-    ``line_text`` carries the stripped source line; the baseline matches on
-    it (rather than on line numbers) so grandfathered findings survive
-    unrelated edits that shift lines around.
-    """
-
-    path: str  # posix-style path, relative to the lint root where possible
-    line: int
-    col: int
-    rule_id: str
-    message: str
-    line_text: str = field(default="", compare=False)
-
-    @property
-    def sort_key(self) -> tuple:
-        return (self.path, self.line, self.col, self.rule_id)
-
-    def to_dict(self) -> dict:
-        return {
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "rule": self.rule_id,
-            "message": self.message,
-            "line_text": self.line_text,
-        }
+__all__ = ["Finding"]

@@ -1,35 +1,9 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Compat shim: reporters now live in
+:mod:`tools.analysis_core.reporters`, shared with colibri-flow (their
+defaults render under the ``colibri-lint`` name)."""
 
 from __future__ import annotations
 
-import json
-from collections import Counter
+from tools.analysis_core.reporters import render_json, render_text
 
-
-def render_text(findings: list, grandfathered_count: int = 0) -> str:
-    lines = [
-        f"{finding.path}:{finding.line}:{finding.col + 1}: "
-        f"{finding.rule_id} {finding.message}"
-        for finding in findings
-    ]
-    if findings:
-        per_rule = Counter(finding.rule_id for finding in findings)
-        breakdown = ", ".join(
-            f"{rule}: {count}" for rule, count in sorted(per_rule.items())
-        )
-        lines.append("")
-        lines.append(f"{len(findings)} finding(s) ({breakdown})")
-    else:
-        lines.append("colibri-lint: clean")
-    if grandfathered_count:
-        lines.append(f"{grandfathered_count} grandfathered finding(s) in baseline")
-    return "\n".join(lines)
-
-
-def render_json(findings: list, grandfathered_count: int = 0) -> str:
-    payload = {
-        "findings": [finding.to_dict() for finding in findings],
-        "count": len(findings),
-        "grandfathered": grandfathered_count,
-    }
-    return json.dumps(payload, indent=2)
+__all__ = ["render_json", "render_text"]

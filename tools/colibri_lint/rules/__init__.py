@@ -7,6 +7,7 @@ from tools.colibri_lint.rules.base import Rule
 from tools.colibri_lint.rules.citations import ConstantCitationRule
 from tools.colibri_lint.rules.clocks import DirectClockRule
 from tools.colibri_lint.rules.exceptions import BroadExceptRule
+from tools.colibri_lint.rules.module_state import ModuleStateRule
 from tools.colibri_lint.rules.mutable_defaults import MutableDefaultRule
 from tools.colibri_lint.rules.printing import LibraryPrintRule
 from tools.colibri_lint.rules.randomness import UnseededRandomRule
@@ -23,6 +24,7 @@ ALL_RULES: list = [
     DiscardedVerificationRule(),
     ConstantCitationRule(),
     LibraryPrintRule(),
+    ModuleStateRule(),
 ]
 
 RULES_BY_ID: dict = {rule.rule_id: rule for rule in ALL_RULES}

@@ -12,8 +12,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from tools.colibri_lint.context import FileContext
-from tools.colibri_lint.findings import Finding
+from tools.analysis_core.context import FileContext
+from tools.analysis_core.findings import Finding
 from tools.colibri_lint.rules.base import Rule
 
 

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from tools.colibri_lint.context import FileContext
-from tools.colibri_lint.findings import Finding
+from tools.analysis_core.context import FileContext
+from tools.analysis_core.findings import Finding
 
 
 class Rule:

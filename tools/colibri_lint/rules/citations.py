@@ -15,8 +15,8 @@ import ast
 import re
 from typing import Iterator
 
-from tools.colibri_lint.context import FileContext
-from tools.colibri_lint.findings import Finding
+from tools.analysis_core.context import FileContext
+from tools.analysis_core.findings import Finding
 from tools.colibri_lint.rules.base import Rule
 
 CITATION_RE = re.compile(r"§\s*\S|Eq\.|Table\s*\d|Fig\.|footnote|Appendix")
