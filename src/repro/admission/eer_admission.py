@@ -61,6 +61,11 @@ class TransferDistributor:
     def __init__(self):
         # core SegR id -> (up SegR id -> accumulated capped demand)
         self._demands: dict[ReservationId, dict] = defaultdict(lambda: defaultdict(float))
+        # registration key (EER id) -> ((core, up) -> applied increment).
+        # The cap makes registration non-linear: the increment actually
+        # applied can be smaller than the amount offered, so symmetric
+        # release needs the applied value remembered per registration.
+        self._registered: dict = {}
 
     def register_demand(
         self,
@@ -68,17 +73,76 @@ class TransferDistributor:
         up_segment: ReservationId,
         amount: float,
         up_capacity: float,
-    ) -> None:
+        key=None,
+    ) -> float:
+        """Accumulate demand from ``up_segment``; returns the *applied*
+        increment after the ``up_capacity`` cap.  With ``key`` (the EER
+        id) the applied increment is recorded so :meth:`release_demand`
+        and :meth:`release_key` can return exactly it later."""
         demands = self._demands[core_segment]
-        demands[up_segment] = min(demands[up_segment] + amount, up_capacity)
+        previous = demands[up_segment]
+        demands[up_segment] = min(previous + amount, up_capacity)
+        applied = demands[up_segment] - previous
+        if key is not None and applied > 0.0:
+            pairs = self._registered.setdefault(key, {})
+            pair = (core_segment, up_segment)
+            pairs[pair] = pairs.get(pair, 0.0) + applied
+        return applied
 
     def release_demand(
-        self, core_segment: ReservationId, up_segment: ReservationId, amount: float
+        self,
+        core_segment: ReservationId,
+        up_segment: ReservationId,
+        amount: Optional[float] = None,
+        key=None,
     ) -> None:
+        """Return previously registered demand.
+
+        With ``key``, exactly the increment recorded for that key on
+        this (core, up) pair is released — the only release that is
+        symmetric when registration hit the ``up_capacity`` cap.  The
+        ``amount`` form remains for callers without a ledger entry, but
+        releasing an uncapped amount against a capped registration
+        under-counts surviving demand (the cap-then-release bug).
+        """
+        if key is not None:
+            pairs = self._registered.get(key)
+            if pairs is None:
+                return
+            amount = pairs.pop((core_segment, up_segment), 0.0)
+            if not pairs:
+                del self._registered[key]
         demands = self._demands.get(core_segment)
-        if not demands:
+        if not demands or not amount:
             return
         demands[up_segment] = max(0.0, demands[up_segment] - amount)
+
+    def release_key(self, key) -> float:
+        """Release every registration recorded under ``key`` (the EER
+        expired or aborted); returns the total demand returned.  The
+        sweep calls this so quotas decay with the *live* population
+        instead of accumulating demand from long-gone EERs."""
+        pairs = self._registered.pop(key, None)
+        if not pairs:
+            return 0.0
+        released = 0.0
+        for (core_segment, up_segment), applied in pairs.items():
+            demands = self._demands.get(core_segment)
+            if not demands:
+                continue
+            demands[up_segment] = max(0.0, demands[up_segment] - applied)
+            released += applied
+        return released
+
+    def demand(
+        self, core_segment: ReservationId, up_segment: ReservationId
+    ) -> float:
+        """Accumulated capped demand from one up-SegR — the per-up
+        ``already`` the quota check compares against its share."""
+        demands = self._demands.get(core_segment)
+        if not demands:
+            return 0.0
+        return demands.get(up_segment, 0.0)
 
     def total_demand(self, core_segment: ReservationId) -> float:
         return sum(self._demands.get(core_segment, {}).values())
@@ -150,6 +214,7 @@ class EerAdmission:
         segment_out: Optional[ReservationId] = None,
         host: Optional[HostAddr] = None,
         core_contention: bool = False,
+        flow: Optional[ReservationId] = None,
     ) -> EerDecision:
         """Run the admission check for this AS's role on the request path.
 
@@ -158,7 +223,9 @@ class EerAdmission:
         destinations only ``segment_in``, transits exactly one of the two
         (the same SegR), transfers both.  With ``core_contention`` a
         transfer AS additionally applies the proportional up-SegR quota
-        against the outgoing core-SegR.
+        against the outgoing core-SegR; ``flow`` (the EER id) keys the
+        demand registration so its exact capped increment can be
+        released when the EER fails, aborts, or expires.
         """
         self.decisions += 1
         checked = []
@@ -181,13 +248,22 @@ class EerAdmission:
         elif role is AsRole.TRANSFER:
             granted = self._check_segment(segment_in, requested, now)
             checked.append(segment_in)
+            # The outgoing core-SegR is checked *before* any demand is
+            # registered: a denial here used to leave the registration
+            # behind, permanently shrinking other up-SegRs' quotas.
+            granted = min(granted, self._check_segment(segment_out, requested, now))
+            checked.append(segment_out)
             if core_contention:
                 up_segment = self.store.get_segment(segment_in)
                 core_segment = self.store.get_segment(segment_out)
                 quota = self.distributor.quota(
                     segment_out, segment_in, core_segment.bandwidth
                 )
-                already = self.store.allocated_on_segment(segment_out)
+                # `already` is this up-SegR's own accumulated demand, not
+                # the whole core-SegR's allocation: §4.7 divides the core
+                # among up-SegRs by *their* demand, so one up-SegR's
+                # backlog must not consume another's share.
+                already = self.distributor.demand(segment_out, segment_in)
                 if requested > quota - min(already, quota):
                     raise InsufficientBandwidth(
                         f"up-SegR {segment_in} quota on core-SegR {segment_out} "
@@ -196,10 +272,9 @@ class EerAdmission:
                         at_as=self.isd_as,
                     )
                 self.distributor.register_demand(
-                    segment_out, segment_in, requested, up_segment.bandwidth
+                    segment_out, segment_in, requested, up_segment.bandwidth,
+                    key=flow,
                 )
-            granted = min(granted, self._check_segment(segment_out, requested, now))
-            checked.append(segment_out)
         elif role is AsRole.DESTINATION:
             if host is not None:
                 self.destination_policy.authorize(host, requested)
@@ -221,3 +296,54 @@ class EerAdmission:
         """Record the admitted EER's bandwidth on every checked SegR."""
         for segment_id in decision.segments_checked:
             self.store.allocate_on_segment(segment_id, eer_id, bandwidth)
+
+    # -- renewals (§4.2) ----------------------------------------------------------
+
+    def renew_delta(
+        self,
+        eer_id: ReservationId,
+        segment_ids,
+        new_bandwidth: float,
+        now: float,
+        role: AsRole = AsRole.TRANSIT,
+    ) -> EerDecision:
+        """Incremental renewal: recompute the EER's allocation in place.
+
+        A renewal is not a new admission — the EER already occupies
+        bandwidth on every SegR it rides, and versions share that budget
+        (§4.2).  Instead of releasing and re-admitting through the full
+        role dispatch, each SegR offers ``current allocation + free
+        bandwidth``; the grant is the request capped at the minimum
+        offer across segments.  Two O(1) store reads per SegR, no
+        mutation, and by construction the grant never falls below what a
+        segment can absorb in place — an AS that cannot cover the full
+        growth makes a *partial* grant ("all on-path ASes can specify
+        the amount of bandwidth they are willing to grant", §4.2)
+        instead of failing the renewal.
+
+        Raises :class:`ReservationExpired` when a SegR is dead and
+        :class:`ReservationNotFound` when one is unknown; grants of 0.0
+        mean the EER survives at whatever it already holds.
+        """
+        self.decisions += 1
+        offered = new_bandwidth
+        for segment_id in segment_ids:
+            current = self.store.eer_allocation(segment_id, eer_id)
+            headroom = current + self._segment_available(segment_id, now)
+            offered = min(offered, headroom)
+        return EerDecision(
+            granted=max(0.0, offered),
+            role=role,
+            segments_checked=tuple(segment_ids),
+        )
+
+    def commit_renewal(
+        self, eer_id: ReservationId, decision: EerDecision, granted: float
+    ) -> None:
+        """Apply a renewal grant: raise each segment's allocation to the
+        granted amount, never shrinking below what already runs (older
+        versions stay live until they expire on their own, §4.2)."""
+        for segment_id in decision.segments_checked:
+            current = self.store.eer_allocation(segment_id, eer_id)
+            if granted > current:
+                self.store.allocate_on_segment(segment_id, eer_id, granted)

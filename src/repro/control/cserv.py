@@ -37,7 +37,7 @@ import functools
 from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
-from repro.admission.eer_admission import AsRole, EerAdmission, EerDecision
+from repro.admission.eer_admission import AsRole, EerAdmission
 from repro.admission.policy import AdmissionPolicy
 from repro.admission.traffic_matrix import TrafficMatrix
 from repro.admission.tube_fairness import SegmentAdmission, SegmentGrant
@@ -75,6 +75,7 @@ from repro.obs.events import (
     ADMISSION_DECIDED,
     RESERVATION_RENEWED,
     RESERVATION_TORN_DOWN,
+    STORE_SWEPT,
     emit,
 )
 from repro.obs.trace import traced
@@ -96,7 +97,7 @@ from repro.packets.fields import EerInfo, PathField, ResInfo
 from repro.reservation.e2e import E2EReservation, E2EVersion
 from repro.reservation.ids import ReservationId
 from repro.reservation.segment import SegmentReservation, SegmentVersion
-from repro.reservation.store import ReservationStore
+from repro.reservation.sharded import ShardedReservationStore
 from repro.topology.addresses import HostAddr, IsdAs
 from repro.topology.graph import ASNode, Topology
 from repro.topology.paths import combine_segments
@@ -203,7 +204,11 @@ class ColibriService:
         #: by request identity, replayed when a lost response is retried.
         self.idempotency = IdempotencyCache(clock)
 
-        self.store = ReservationStore()
+        #: Per-AS-pair sharded store behind the flat-store interface:
+        #: the million-reservation target needs sweep and accounting
+        #: costs bounded by the *affected* reservations, never the
+        #: population (ROADMAP; SIBRA's steady/ephemeral split).
+        self.store = ShardedReservationStore()
         self.matrix = TrafficMatrix(node)
         self.seg_admission = SegmentAdmission(self.matrix)
         self.eer_admission = EerAdmission(
@@ -698,6 +703,9 @@ class ColibriService:
             )
         previous = reservation.active
         new = reservation.activate(request.version, now)
+        reservation.prune(now)
+        # Activation replaced the expiry-defining version: re-index.
+        self.store.touch(request.reservation)
         # Committed admission state must track the active version's size.
         if request.reservation in self.seg_admission.index:
             entry = self.seg_admission.index.entry(request.reservation)
@@ -936,6 +944,7 @@ class ColibriService:
                 segment_out=segment_out,
                 host=host,
                 core_contention=core_contention,
+                flow=request.res_info.reservation,
             )
         except (InsufficientBandwidth, PolicyDenied) as denial:
             return fail(denial.granted)
@@ -970,7 +979,7 @@ class ColibriService:
                 # climbs back towards the initiator (§3.3 cleanup).
                 self._release_eer_decision(
                     role, host, request.res_info.bandwidth,
-                    segment_in, segment_out, core_contention,
+                    core_contention, request.res_info.reservation,
                 )
                 raise
 
@@ -1011,7 +1020,7 @@ class ColibriService:
             # would otherwise shrink other up-SegRs' quotas forever.
             self._release_eer_decision(
                 role, host, request.res_info.bandwidth,
-                segment_in, segment_out, core_contention,
+                core_contention, request.res_info.reservation,
             )
         return response
 
@@ -1020,9 +1029,8 @@ class ColibriService:
         role: AsRole,
         host,
         bandwidth: float,
-        segment_in,
-        segment_out,
         core_contention: bool,
+        eer_id: ReservationId,
     ) -> None:
         """Undo the temporary state :meth:`EerAdmission.decide` created
         for a request that will not commit here (§3.3 cleanup)."""
@@ -1031,9 +1039,9 @@ class ColibriService:
         elif host is not None and role is AsRole.DESTINATION:
             self.eer_admission.destination_policy.release(host, bandwidth)
         if role is AsRole.TRANSFER and core_contention:
-            self.eer_admission.distributor.release_demand(
-                segment_out, segment_in, bandwidth
-            )
+            # Keyed release: exactly the capped increment `decide`
+            # registered, not the (possibly larger) requested amount.
+            self.eer_admission.distributor.release_key(eer_id)
 
     @_workflow("eer.renewal")
     def renew_eer(self, handle: EerHandle, new_bandwidth: float = None) -> EerHandle:
@@ -1153,40 +1161,26 @@ class ColibriService:
         except ReservationNotFound:
             return fail(0.0)
 
-        # The renewal needs only the *additional* bandwidth beyond what
-        # this EER already occupies on the SegRs (versions share budget).
-        current = max(
-            self.store.eer_allocation(sid, request.reservation)
-            for sid in decisions_segments(segment_in, segment_out)
-        )
-        additional = max(0.0, request.new_bandwidth - current)
-        # §4.2: "during a renewal request all on-path ASes can specify
-        # the amount of bandwidth they are willing to grant" — an AS that
-        # cannot cover the full growth offers a *partial* grant (at least
-        # the EER's current allocation, so service never regresses below
-        # what already runs), instead of failing the renewal outright.
+        # Renewal is a delta-recompute, not a fresh admission: versions
+        # share the EER's budget (§4.2), so each SegR offers its current
+        # allocation plus whatever is free, in two O(1) reads — no
+        # release-and-readmit through the full bounded-tube path, and no
+        # policy/demand charge to unwind on failure (policy budget was
+        # charged at setup).  An AS that cannot cover the full growth
+        # offers a *partial* grant, so service never regresses below
+        # what already runs.
         try:
-            decision = self.eer_admission.decide(
-                role,
-                additional,
+            decision = self.eer_admission.renew_delta(
+                request.reservation,
+                decisions_segments(segment_in, segment_out),
+                request.new_bandwidth,
                 now,
-                segment_in=segment_in,
-                segment_out=segment_out,
-                host=None,  # policy budget was charged at setup
-            )
-            offered = request.new_bandwidth
-        except (InsufficientBandwidth, PolicyDenied) as denial:
-            offered = current + max(0.0, denial.granted)
-            if offered <= 0:
-                return fail(0.0)
-            decision = EerDecision(
-                granted=offered,
                 role=role,
-                segments_checked=tuple(
-                    decisions_segments(segment_in, segment_out)
-                ),
             )
-        except ReservationExpired:
+        except (ReservationExpired, ReservationNotFound):
+            return fail(0.0)
+        offered = decision.granted
+        if offered <= 0:
             return fail(0.0)
 
         self._decided(
@@ -1231,11 +1225,13 @@ class ColibriService:
                         expiry=final_info.expiry,
                     )
                 )
-                new_allocation = max(current, response.granted)
-                for sid in decision.segments_checked:
-                    self.store.allocate_on_segment(
-                        sid, request.reservation, new_allocation
-                    )
+                reservation.prune(now)
+                self.eer_admission.commit_renewal(
+                    request.reservation, decision, response.granted
+                )
+                # The new version moved the expiry: re-index the EER so
+                # the time-indexed sweep sees the extension immediately.
+                self.store.touch(request.reservation)
             sigma = hop_authenticator(
                 self.keys.hop_key(now),
                 final_info,
@@ -1372,8 +1368,9 @@ class ColibriService:
         if version <= 1:
             # Abort of the initial setup: the whole EER goes, and every
             # SegR this AS holds gets its allocation back — exact zero,
-            # not "wait 16 s for expiry" (§3.3).
-            self._release_transfer_demand(reservation, res_id)
+            # not "wait 16 s for expiry" (§3.3).  The keyed ledger
+            # returns exactly the transfer demand this EER registered.
+            self.eer_admission.distributor.release_key(res_id)
             with self.store.transaction():
                 for segment_id in reservation.segment_ids:
                     self.store.release_on_segment(segment_id, res_id)
@@ -1391,30 +1388,9 @@ class ColibriService:
                     continue
                 if self.store.eer_allocation(segment_id, res_id) > remaining:
                     self.store.allocate_on_segment(segment_id, res_id, remaining)
-
-    def _release_transfer_demand(
-        self, reservation: E2EReservation, res_id: ReservationId
-    ) -> None:
-        """Return an aborted EER's share of the up-SegR demand a transfer
-        AS registered against the core-SegR quota (§4.7)."""
-        pairs = zip(reservation.segment_ids, reservation.segment_ids[1:])
-        for seg_in_id, seg_out_id in pairs:
-            if not (
-                self.store.has_segment(seg_in_id)
-                and self.store.has_segment(seg_out_id)
-            ):
-                continue
-            seg_in = self.store.get_segment(seg_in_id)
-            seg_out = self.store.get_segment(seg_out_id)
-            if (
-                seg_in.segment.segment_type is SegmentType.UP
-                and seg_out.segment.segment_type is SegmentType.CORE
-            ):
-                self.eer_admission.distributor.release_demand(
-                    seg_out_id,
-                    seg_in_id,
-                    self.store.eer_allocation(seg_out_id, res_id),
-                )
+            # Dropping the version may have *shrunk* the expiry; the
+            # lazy index only heals extensions, so re-index explicitly.
+            self.store.touch(res_id)
 
     # ====================================================== host front door ==
 
@@ -1598,19 +1574,42 @@ class ColibriService:
 
     def housekeeping(self) -> dict:
         """Periodic sweep: expire reservations, release admission state,
-        purge the registry.  Returns counts for observability."""
+        purge the registry.  Returns counts for observability.
+
+        Cost is proportional to what actually died: the store's expiry
+        wheel surfaces exactly the due reservations (no full scan), and
+        the returned id lists drive the per-reservation cleanup —
+        segment-admission entries, registry rows, Eq. (3) tokens, and
+        the transfer-quota demand of expired EERs, which would otherwise
+        accumulate forever and starve other up-SegRs' quotas.
+        """
         now = self._now()
-        expired_segments = [
-            reservation.reservation_id
-            for reservation in self.store.segments()
-            if reservation.is_expired(now)
-        ]
-        removed = self.store.sweep_expired(now)
-        for reservation_id in expired_segments:
+        removed, dead_eers, dead_segments = self.store.sweep_expired_details(now)
+        for reservation_id in dead_segments:
             self.seg_admission.release(reservation_id)
             self.registry.unregister(reservation_id)
             self._segment_tokens.pop(reservation_id, None)
+        for reservation_id in dead_eers:
+            self.eer_admission.distributor.release_key(reservation_id)
         removed["registry"] = self.registry.sweep_expired(now)
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            metrics.counter("store_swept_eers_total").inc(removed["eers"])
+            metrics.counter("store_swept_segments_total").inc(
+                removed["segments"]
+            )
+            metrics.gauge("store_live_eers").set(self.store.eer_count())
+            metrics.gauge("store_live_segments").set(self.store.segment_count())
+            emit(
+                self.obs,
+                STORE_SWEPT,
+                isd_as=str(self.isd_as),
+                eers=removed["eers"],
+                segments=removed["segments"],
+                registry=removed["registry"],
+                live_eers=self.store.eer_count(),
+                live_segments=self.store.segment_count(),
+            )
         return removed
 
     def segment_tokens(self, reservation_id: ReservationId) -> tuple:

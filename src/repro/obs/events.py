@@ -36,6 +36,7 @@ MONITOR_CONFIRMED_OVERUSE = "MonitorConfirmedOveruse"
 OFD_FLAGGED = "OfdFlagged"
 DUPLICATE_SUPPRESSED = "DuplicateSuppressed"
 BREAKER_TRANSITION = "BreakerTransition"
+STORE_SWEPT = "StoreSwept"
 
 EVENT_TYPES = frozenset(
     {
@@ -47,6 +48,7 @@ EVENT_TYPES = frozenset(
         OFD_FLAGGED,
         DUPLICATE_SUPPRESSED,
         BREAKER_TRANSITION,
+        STORE_SWEPT,
     }
 )
 

@@ -12,7 +12,9 @@ from repro.reservation.persistence import (
     load_store,
     loads_store,
 )
+from repro.reservation.sharded import ShardedReservationStore
 from repro.reservation.store import ReservationStore
+from repro.reservation.timewheel import ExpiryWheel
 
 __all__ = [
     "ReservationId",
@@ -21,6 +23,8 @@ __all__ = [
     "E2EReservation",
     "E2EVersion",
     "ReservationStore",
+    "ShardedReservationStore",
+    "ExpiryWheel",
     "InterfacePairIndex",
     "dump_store",
     "dumps_store",

@@ -26,7 +26,14 @@ if TYPE_CHECKING:  # avoid a packets <-> reservation import cycle
 
 @dataclass
 class E2EVersion:
-    """One version of an EER; expires on its own, never removed early."""
+    """One version of an EER; expires on its own, never removed early.
+
+    Slotted: a million-EER store (ROADMAP) holds at least one of these
+    per EER, and the instance ``__dict__`` would roughly double the
+    per-version footprint.
+    """
+
+    __slots__ = ("version", "bandwidth", "expiry")
 
     version: int
     bandwidth: float  # bits per second
@@ -37,7 +44,14 @@ class E2EVersion:
 
 
 class E2EReservation:
-    """An EER as stored by an on-path AS or the source gateway."""
+    """An EER as stored by an on-path AS or the source gateway.
+
+    Slotted for the same reason as :class:`E2EVersion`: EERs dominate a
+    large store's population (16 s lifetime, §4.2, renewed continuously),
+    so per-instance dict overhead is the store's memory floor.
+    """
+
+    __slots__ = ("reservation_id", "eer_info", "hops", "segment_ids", "_versions")
 
     def __init__(
         self,

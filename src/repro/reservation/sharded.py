@@ -1,0 +1,284 @@
+"""Per-AS-pair sharding of the reservation store.
+
+One flat dict per CServ stops being the right shape at the ROADMAP's
+million-reservation scale: every structural operation contends on the
+same maps, and a future persistent backend (§6.1 keeps reservations "in
+a transactional database") wants a natural partitioning key.  SIBRA's
+steady/ephemeral split suggests the key: reservation state is naturally
+local to the *pair of edge ASes* it connects — a SegR to its first/last
+AS, an EER to its source AS and destination-hop AS — so this wrapper
+hashes that pair onto a fixed set of :class:`ReservationStore` shards.
+
+The wrapper is a drop-in: it exposes the complete ``ReservationStore``
+surface (including :meth:`transaction` semantics and the expiry-window
+queries) so ``control/cserv.py`` and ``control/renewal.py`` call sites
+are untouched.  Routing is a single dict lookup per call — the O(1)
+accounting reads behind Fig. 4's flat curves stay O(1).
+
+Transactions span shards: one undo journal is shared by the wrapper and
+every shard for the duration of the block, so a rollback unwinds
+mutations across all shards in exact reverse order, exactly like the
+single-store journal.
+
+Sweeps cross shards too: an EER and the SegRs it rides may hash to
+different shards, so each shard releases swept allocations through the
+wrapper (see ``ReservationStore._release_router``), which routes them
+to whichever shard holds the SegR.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ReservationNotFound, StoreConflict
+from repro.reservation.e2e import E2EReservation
+from repro.reservation.ids import ReservationId
+from repro.reservation.segment import SegmentReservation
+from repro.reservation.store import ReservationStore
+from repro.topology.addresses import IsdAs
+
+#: Default shard count.  Small enough that an idle CServ pays a few
+#: hundred bytes per empty shard, large enough to spread a
+#: million-reservation store.
+DEFAULT_SHARDS = 16
+
+
+class _AllocView:
+    """Read-only routing view over the shards' ``_eer_alloc`` maps.
+
+    Pre-existing introspection (persistence dumps, the scenario
+    consistency checker) indexes ``store._eer_alloc[segment_id]``; this
+    view keeps that expression working against the sharded store.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "ShardedReservationStore"):
+        self._store = store
+
+    def __getitem__(self, segment_id: ReservationId) -> dict:
+        return self._store._shard_of(segment_id)._eer_alloc[segment_id]
+
+    def __contains__(self, segment_id: ReservationId) -> bool:
+        shard = self._store._shards[self._store._route[segment_id]] \
+            if segment_id in self._store._route else None
+        return shard is not None and segment_id in shard._eer_alloc
+
+    def get(self, segment_id: ReservationId, default=None):
+        try:
+            return self[segment_id]
+        except KeyError:
+            return default
+
+
+class ShardedReservationStore:
+    """``ReservationStore`` interface over per-AS-pair shards."""
+
+    def __init__(self, shards: int = DEFAULT_SHARDS):
+        if shards <= 0:
+            raise ValueError(f"shard count must be positive, got {shards}")
+        self._shards: List[ReservationStore] = []
+        for _ in range(shards):
+            shard = ReservationStore()
+            shard._release_router = self
+            self._shards.append(shard)
+        #: reservation id -> shard index; the single routing lookup.
+        self._route: dict[ReservationId, int] = {}
+        self._journal: Optional[list] = None
+
+    # -- routing ----------------------------------------------------------------
+
+    def _shard_index(self, a: IsdAs, b: IsdAs) -> int:
+        # Plain int hashing: deterministic across processes (no string
+        # hash randomization), so a reservation always lands in the same
+        # shard — persistence round-trips and replays stay stable.
+        return hash((a.isd, a.asn, b.isd, b.asn)) % len(self._shards)
+
+    def _segment_shard(self, reservation: SegmentReservation) -> int:
+        segment = reservation.segment
+        return self._shard_index(segment.first_as, segment.last_as)
+
+    def _eer_shard(self, reservation: E2EReservation) -> int:
+        src = reservation.reservation_id.src_as
+        dst = reservation.hops[-1].isd_as if reservation.hops else src
+        return self._shard_index(src, dst)
+
+    def _shard_of(self, res_id: ReservationId) -> ReservationStore:
+        index = self._route.get(res_id)
+        if index is None:
+            raise ReservationNotFound(f"unknown SegR {res_id}")
+        return self._shards[index]
+
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    # -- transactions -----------------------------------------------------------
+
+    @contextmanager
+    def transaction(self):
+        """One journal across every shard: commit or roll back together."""
+        if self._journal is not None:
+            raise StoreConflict("nested transactions are not supported")
+        journal: list = []
+        self._journal = journal
+        for shard in self._shards:
+            shard._journal = journal
+        try:
+            yield self
+        except BaseException:
+            for undo in reversed(journal):
+                undo()
+            raise
+        finally:
+            self._journal = None
+            for shard in self._shards:
+                shard._journal = None
+
+    def _record(self, undo: Callable[[], None]) -> None:
+        if self._journal is not None:
+            self._journal.append(undo)
+
+    # -- segment reservations ----------------------------------------------------
+
+    def add_segment(self, reservation: SegmentReservation) -> None:
+        res_id = reservation.reservation_id
+        index = self._segment_shard(reservation)
+        self._shards[index].add_segment(reservation)
+        self._route[res_id] = index
+        self._record(lambda: self._route.pop(res_id, None))
+
+    def remove_segment(self, res_id: ReservationId) -> SegmentReservation:
+        reservation = self._shard_of(res_id).remove_segment(res_id)
+        self._unroute(res_id)
+        return reservation
+
+    def _unroute(self, res_id: ReservationId) -> None:
+        index = self._route.pop(res_id)
+        self._record(lambda: self._route.__setitem__(res_id, index))
+
+    def get_segment(self, res_id: ReservationId) -> SegmentReservation:
+        return self._shard_of(res_id).get_segment(res_id)
+
+    def has_segment(self, res_id: ReservationId) -> bool:
+        index = self._route.get(res_id)
+        return index is not None and self._shards[index].has_segment(res_id)
+
+    def segments(self) -> list:
+        return [r for shard in self._shards for r in shard.segments()]
+
+    def segment_count(self) -> int:
+        return sum(shard.segment_count() for shard in self._shards)
+
+    # -- end-to-end reservations ---------------------------------------------------
+
+    def add_eer(self, reservation: E2EReservation) -> None:
+        res_id = reservation.reservation_id
+        index = self._eer_shard(reservation)
+        self._shards[index].add_eer(reservation)
+        self._route[res_id] = index
+        self._record(lambda: self._route.pop(res_id, None))
+
+    def remove_eer(self, res_id: ReservationId) -> E2EReservation:
+        index = self._route.get(res_id)
+        if index is None:
+            raise ReservationNotFound(f"unknown EER {res_id}")
+        reservation = self._shards[index].remove_eer(res_id)
+        self._unroute(res_id)
+        return reservation
+
+    def get_eer(self, res_id: ReservationId) -> E2EReservation:
+        index = self._route.get(res_id)
+        if index is None:
+            raise ReservationNotFound(f"unknown EER {res_id}")
+        return self._shards[index].get_eer(res_id)
+
+    def has_eer(self, res_id: ReservationId) -> bool:
+        index = self._route.get(res_id)
+        return index is not None and self._shards[index].has_eer(res_id)
+
+    def eers(self) -> list:
+        return [r for shard in self._shards for r in shard.eers()]
+
+    def eer_count(self) -> int:
+        return sum(shard.eer_count() for shard in self._shards)
+
+    # -- expiry index ------------------------------------------------------------
+
+    def touch(self, res_id: ReservationId) -> None:
+        index = self._route.get(res_id)
+        if index is not None:
+            self._shards[index].touch(res_id)
+
+    def eers_expiring_by(self, deadline: float) -> List[E2EReservation]:
+        return [
+            r for shard in self._shards for r in shard.eers_expiring_by(deadline)
+        ]
+
+    def segments_expiring_by(self, deadline: float) -> List[SegmentReservation]:
+        return [
+            r
+            for shard in self._shards
+            for r in shard.segments_expiring_by(deadline)
+        ]
+
+    # -- EER-on-SegR allocation accounting -----------------------------------------
+
+    def allocate_on_segment(
+        self, segment_id: ReservationId, eer_id: ReservationId, bandwidth: float
+    ) -> None:
+        self._shard_of(segment_id).allocate_on_segment(
+            segment_id, eer_id, bandwidth
+        )
+
+    def release_on_segment(
+        self, segment_id: ReservationId, eer_id: ReservationId
+    ) -> None:
+        index = self._route.get(segment_id)
+        if index is None:
+            return  # same tolerance as the flat store: nothing to release
+        self._shards[index].release_on_segment(segment_id, eer_id)
+
+    def allocated_on_segment(self, segment_id: ReservationId) -> float:
+        return self._shard_of(segment_id).allocated_on_segment(segment_id)
+
+    def eer_allocation(
+        self, segment_id: ReservationId, eer_id: ReservationId
+    ) -> float:
+        return self._shard_of(segment_id).eer_allocation(segment_id, eer_id)
+
+    @property
+    def _eer_alloc(self) -> _AllocView:
+        return _AllocView(self)
+
+    # -- garbage collection -----------------------------------------------------------
+
+    def sweep_expired(self, now: float) -> dict:
+        counts, _, _ = self.sweep_expired_details(now)
+        return counts
+
+    def sweep_expired_details(
+        self, now: float
+    ) -> Tuple[dict, List[ReservationId], List[ReservationId]]:
+        """Sweep every shard; aggregate counts and dead-id lists.
+
+        Each shard only examines reservations its own expiry wheel says
+        are due, so the aggregate cost is O(shards · log buckets + dead)
+        — independent of the live population.
+        """
+        counts = {"eers": 0, "segments": 0}
+        dead_eers: List[ReservationId] = []
+        dead_segments: List[ReservationId] = []
+        for shard in self._shards:
+            shard_counts, shard_eers, shard_segments = (
+                shard.sweep_expired_details(now)
+            )
+            counts["eers"] += shard_counts["eers"]
+            counts["segments"] += shard_counts["segments"]
+            dead_eers.extend(shard_eers)
+            dead_segments.extend(shard_segments)
+        for res_id in dead_eers:
+            self._unroute(res_id)
+        for res_id in dead_segments:
+            self._unroute(res_id)
+        return counts, dead_eers, dead_segments

@@ -6,23 +6,39 @@ multi-step setup handling either commits completely or leaves no trace —
 "in case of an unsuccessful request, the ASes clean up their temporary
 reservations" (§3.3).  :meth:`ReservationStore.transaction` provides that
 with an undo journal, so any exception inside the block rolls back every
-mutation made through the store.
+mutation made through the store — *including* expiry sweeps, which the
+original implementation deleted outside the journal (a sweep inside a
+later-aborted transaction left allocations restored for EERs that no
+longer existed).
 
 The store also maintains the EER-per-SegR allocation accounting that EER
 admission reads: ``allocated_on_segment`` is an O(1) lookup thanks to
 incrementally maintained sums — one ingredient of the flat curves in
 Fig. 4.
+
+Expiry is time-indexed: every reservation is scheduled on an
+:class:`~repro.reservation.timewheel.ExpiryWheel` keyed by its expiry,
+so :meth:`sweep_expired` and the expiry-window queries
+(:meth:`eers_expiring_by`, :meth:`segments_expiring_by`) cost
+O(log buckets + matched) instead of a full scan.  The wheel records the
+expiry *as of the last store interaction*; reservation objects whose
+expiry moved out of band (renewal versions added, versions dropped,
+activation) are lazily revalidated when they surface — a live candidate
+is simply re-indexed at its real expiry — and callers that shrink an
+expiry should :meth:`touch` the reservation so its removal is timely
+rather than merely eventual.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ReservationNotFound, StoreConflict
 from repro.reservation.e2e import E2EReservation
 from repro.reservation.ids import ReservationId
 from repro.reservation.segment import SegmentReservation
+from repro.reservation.timewheel import ExpiryWheel
 
 
 class ReservationStore:
@@ -34,7 +50,14 @@ class ReservationStore:
         # SegR id -> (EER id -> allocated bandwidth); sums kept alongside.
         self._eer_alloc: dict[ReservationId, dict] = {}
         self._eer_alloc_sum: dict[ReservationId, float] = {}
+        # Expiry indexes: scheduled (not necessarily current) expiries.
+        self._eer_wheel = ExpiryWheel()
+        self._seg_wheel = ExpiryWheel()
         self._journal: Optional[list] = None
+        # Where a swept EER's allocations are released.  A standalone
+        # store releases against itself; a sharding wrapper points every
+        # shard here, because an EER's SegRs may live in *other* shards.
+        self._release_router: "ReservationStore" = self
 
     # -- transactions -----------------------------------------------------------
 
@@ -66,23 +89,28 @@ class ReservationStore:
         self._segments[res_id] = reservation
         self._eer_alloc[res_id] = {}
         self._eer_alloc_sum[res_id] = 0.0
+        self._seg_wheel.schedule(res_id, reservation.expiry)
         self._record(lambda: self._drop_segment(res_id))
 
     def _drop_segment(self, res_id: ReservationId) -> None:
         self._segments.pop(res_id, None)
         self._eer_alloc.pop(res_id, None)
         self._eer_alloc_sum.pop(res_id, None)
+        self._seg_wheel.remove(res_id)
 
     def remove_segment(self, res_id: ReservationId) -> SegmentReservation:
         reservation = self.get_segment(res_id)
         allocations = self._eer_alloc[res_id]
         alloc_sum = self._eer_alloc_sum[res_id]
+        scheduled = self._seg_wheel.scheduled_expiry(res_id)
         self._drop_segment(res_id)
 
         def undo():
             self._segments[res_id] = reservation
             self._eer_alloc[res_id] = allocations
             self._eer_alloc_sum[res_id] = alloc_sum
+            if scheduled is not None:
+                self._seg_wheel.schedule(res_id, scheduled)
 
         self._record(undo)
         return reservation
@@ -109,7 +137,13 @@ class ReservationStore:
         if res_id in self._eers:
             raise StoreConflict(f"EER {res_id} already stored")
         self._eers[res_id] = reservation
-        self._record(lambda: self._eers.pop(res_id, None))
+        self._eer_wheel.schedule(res_id, reservation.expiry)
+
+        def undo():
+            self._eers.pop(res_id, None)
+            self._eer_wheel.remove(res_id)
+
+        self._record(undo)
 
     def remove_eer(self, res_id: ReservationId) -> E2EReservation:
         """Early removal of an EER (abort of a failed setup, §3.3).
@@ -121,6 +155,10 @@ class ReservationStore:
         reservation = self.get_eer(res_id)
         del self._eers[res_id]
         self._record(lambda: self._eers.__setitem__(res_id, reservation))
+        scheduled = self._eer_wheel.scheduled_expiry(res_id)
+        if scheduled is not None:
+            self._eer_wheel.remove(res_id)
+            self._record(lambda: self._eer_wheel.schedule(res_id, scheduled))
         return reservation
 
     def get_eer(self, res_id: ReservationId) -> E2EReservation:
@@ -137,6 +175,60 @@ class ReservationStore:
 
     def eer_count(self) -> int:
         return len(self._eers)
+
+    # -- expiry index ------------------------------------------------------------
+
+    def touch(self, res_id: ReservationId) -> None:
+        """Re-index a reservation whose expiry changed out of band.
+
+        Version lifecycles mutate reservation objects directly (renewal
+        ``add_version``, abort ``drop_version``, SegR ``activate``); the
+        store cannot observe those, so the expiry index keeps the old
+        schedule.  An *extension* heals lazily (the sweep revalidates and
+        re-indexes); a *shrink* would only be collected at the old, later
+        expiry.  Callers mutating versions should touch the reservation
+        afterwards so both directions are indexed exactly.  Journaled,
+        so a rolled-back transaction also restores the old schedule.
+        Unknown ids are a no-op.
+        """
+        if res_id in self._eers:
+            wheel, expiry = self._eer_wheel, self._eers[res_id].expiry
+        elif res_id in self._segments:
+            wheel, expiry = self._seg_wheel, self._segments[res_id].expiry
+        else:
+            return
+        previous = wheel.scheduled_expiry(res_id)
+        if previous == expiry:
+            return
+        wheel.schedule(res_id, expiry)
+
+        def undo():
+            if previous is None:
+                wheel.remove(res_id)
+            else:
+                wheel.schedule(res_id, previous)
+
+        self._record(undo)
+
+    def eers_expiring_by(self, deadline: float) -> List[E2EReservation]:
+        """EERs whose expiry is at or before ``deadline`` —
+        O(buckets + matched), never a full scan."""
+        due = []
+        for res_id, _ in self._eer_wheel.peek_due(deadline):
+            reservation = self._eers.get(res_id)
+            if reservation is not None and reservation.expiry <= deadline:
+                due.append(reservation)
+        return due
+
+    def segments_expiring_by(self, deadline: float) -> List[SegmentReservation]:
+        """SegRs whose active version expires by ``deadline`` —
+        O(buckets + matched), never a full scan."""
+        due = []
+        for res_id, _ in self._seg_wheel.peek_due(deadline):
+            reservation = self._segments.get(res_id)
+            if reservation is not None and reservation.expiry <= deadline:
+                due.append(reservation)
+        return due
 
     # -- EER-on-SegR allocation accounting -----------------------------------------
 
@@ -218,17 +310,74 @@ class ReservationStore:
         Reservations "automatically expire" (§4.2); this sweep is the
         bookkeeping side.  Returns counts for observability.
         """
-        dead_eers = [r for r in self._eers.values() if r.is_expired(now)]
-        for eer in dead_eers:
-            for segment_id in eer.segment_ids:
-                if segment_id in self._eer_alloc:
-                    self.release_on_segment(segment_id, eer.reservation_id)
-            del self._eers[eer.reservation_id]
-        dead_segments = [r for r in self._segments.values() if r.is_expired(now)]
-        for segment in dead_segments:
-            self._drop_segment(segment.reservation_id)
-        for reservation in self._segments.values():
-            reservation.prune(now)
-        for reservation in self._eers.values():
-            reservation.prune(now)
-        return {"eers": len(dead_eers), "segments": len(dead_segments)}
+        counts, _, _ = self.sweep_expired_details(now)
+        return counts
+
+    def sweep_expired_details(
+        self, now: float
+    ) -> Tuple[dict, List[ReservationId], List[ReservationId]]:
+        """:meth:`sweep_expired`, plus the ids removed.
+
+        ``(counts, dead_eer_ids, dead_segment_ids)`` — callers holding
+        per-reservation side state (segment admission entries, registry
+        rows, transfer-quota demand) clean up against the id lists
+        without re-scanning the store.
+
+        Cost is O(log buckets + candidates): only reservations whose
+        *scheduled* expiry has passed are examined.  Every candidate is
+        revalidated against its object's real expiry; out-of-band
+        renewals surface here and are simply re-indexed (and pruned of
+        stale versions) instead of removed.  All removals go through the
+        journal, so a sweep inside :meth:`transaction` rolls back
+        completely — reservations, allocations, and expiry index alike.
+        """
+        dead_eers: List[ReservationId] = []
+        for res_id, scheduled in self._eer_wheel.collect_due(now):
+            reservation = self._eers.get(res_id)
+            if reservation is None:
+                continue  # stale index entry for an already-removed EER
+            if not reservation.is_expired(now):
+                # Renewed out of band: re-index at the real expiry.
+                self._reschedule(self._eer_wheel, res_id, scheduled,
+                                 reservation.expiry)
+                reservation.prune(now)
+                continue
+            for segment_id in reservation.segment_ids:
+                self._release_router.release_on_segment(segment_id, res_id)
+            self.remove_eer(res_id)
+            self._record(
+                lambda res_id=res_id, scheduled=scheduled:
+                self._eer_wheel.schedule(res_id, scheduled)
+            )
+            dead_eers.append(res_id)
+        dead_segments: List[ReservationId] = []
+        for res_id, scheduled in self._seg_wheel.collect_due(now):
+            reservation = self._segments.get(res_id)
+            if reservation is None:
+                continue
+            if not reservation.is_expired(now):
+                # Activated to a longer-lived version out of band.
+                self._reschedule(self._seg_wheel, res_id, scheduled,
+                                 reservation.expiry)
+                reservation.prune(now)
+                continue
+            self.remove_segment(res_id)
+            self._record(
+                lambda res_id=res_id, scheduled=scheduled:
+                self._seg_wheel.schedule(res_id, scheduled)
+            )
+            dead_segments.append(res_id)
+        return (
+            {"eers": len(dead_eers), "segments": len(dead_segments)},
+            dead_eers,
+            dead_segments,
+        )
+
+    def _reschedule(
+        self, wheel: ExpiryWheel, res_id: ReservationId,
+        scheduled: float, expiry: float,
+    ) -> None:
+        """Re-index a sweep candidate that turned out to be live, with an
+        undo restoring the consumed (earlier) schedule on rollback."""
+        wheel.schedule(res_id, expiry)
+        self._record(lambda: wheel.schedule(res_id, scheduled))

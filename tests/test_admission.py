@@ -468,3 +468,199 @@ class TestPolicies:
         policy = PerHostCapPolicy(default_cap=10.0)
         policy.release(HostAddr(1), 99.0)
         assert policy.in_use(HostAddr(1)) == 0.0
+
+
+def up_segr_record(local_id, bw, expiry=300.0, src=OTHER):
+    far_end = IsdAs(1, BASE + 60)
+    segment = Segment.from_hops(
+        SegmentType.UP,
+        [HopField(src, NO_INTERFACE, 1), HopField(far_end, 1, NO_INTERFACE)],
+    )
+    return SegmentReservation(
+        reservation_id=ReservationId(src, local_id),
+        segment=segment,
+        first_version=SegmentVersion(version=1, bandwidth=bw, expiry=expiry),
+    )
+
+
+class TestDistributorLedger:
+    """Cap-then-release symmetry: releasing must return the *applied*
+    (capped) increment, not the uncapped amount that was offered."""
+
+    def setup_method(self):
+        self.distributor = TransferDistributor()
+        self.core = ReservationId(SRC, 1)
+        self.up = ReservationId(OTHER, 2)
+
+    def test_capped_registration_releases_exactly_applied(self):
+        flow1, flow2 = ReservationId(SRC, 100), ReservationId(SRC, 101)
+        self.distributor.register_demand(
+            self.core, self.up, gbps(8), up_capacity=gbps(10), key=flow1
+        )
+        # Second registration hits the cap: only 2 of the offered 8 land.
+        applied = self.distributor.register_demand(
+            self.core, self.up, gbps(8), up_capacity=gbps(10), key=flow2
+        )
+        assert applied == pytest.approx(gbps(2))
+        self.distributor.release_demand(self.core, self.up, key=flow2)
+        # Amount-based release of the uncapped 8 would leave 2 — the
+        # under-count that inflated every later quota.
+        assert self.distributor.total_demand(self.core) == pytest.approx(gbps(8))
+
+    def test_release_key_returns_all_registrations(self):
+        flow = ReservationId(SRC, 100)
+        self.distributor.register_demand(
+            self.core, self.up, gbps(3), up_capacity=gbps(10), key=flow
+        )
+        self.distributor.register_demand(
+            self.core, self.up, gbps(9), up_capacity=gbps(10), key=flow
+        )
+        released = self.distributor.release_key(flow)
+        assert released == pytest.approx(gbps(10))
+        assert self.distributor.total_demand(self.core) == 0.0
+
+    def test_release_unknown_key_is_noop(self):
+        self.distributor.register_demand(
+            self.core, self.up, gbps(3), up_capacity=gbps(10)
+        )
+        assert self.distributor.release_key(ReservationId(SRC, 404)) == 0.0
+        self.distributor.release_demand(
+            self.core, self.up, key=ReservationId(SRC, 404)
+        )
+        assert self.distributor.total_demand(self.core) == pytest.approx(gbps(3))
+
+    def test_amount_release_still_supported(self):
+        self.distributor.register_demand(
+            self.core, self.up, gbps(4), up_capacity=gbps(10)
+        )
+        self.distributor.release_demand(self.core, self.up, gbps(4))
+        assert self.distributor.total_demand(self.core) == 0.0
+
+
+class TestTransferContention:
+    """TRANSFER with core_contention: demand registration must not leak
+    on the failure paths, and the quota compares against the up-SegR's
+    own share, not the whole core-SegR."""
+
+    def setup_method(self):
+        self.store = ReservationStore()
+        self.up = up_segr_record(2, bw=gbps(10))
+        self.core = segr_record(1, bw=gbps(1))
+        self.store.add_segment(self.up)
+        self.store.add_segment(self.core)
+        self.admission = EerAdmission(SRC, self.store)
+
+    def decide(self, requested, flow_id=900):
+        return self.admission.decide(
+            AsRole.TRANSFER,
+            requested,
+            now=0.0,
+            segment_in=self.up.reservation_id,
+            segment_out=self.core.reservation_id,
+            core_contention=True,
+            flow=ReservationId(SRC, flow_id),
+        )
+
+    def test_core_denial_leaves_no_demand(self):
+        # Saturate the core-SegR so the outgoing capacity check denies.
+        self.store.allocate_on_segment(
+            self.core.reservation_id, ReservationId(SRC, 800), gbps(1)
+        )
+        with pytest.raises(InsufficientBandwidth):
+            self.decide(gbps(0.5))
+        # Previously register_demand ran before the outgoing check, so
+        # the denied request's demand shrank other quotas forever.
+        assert self.admission.distributor.total_demand(
+            self.core.reservation_id
+        ) == 0.0
+
+    def test_successful_decide_registers_keyed_demand(self):
+        self.decide(gbps(0.4), flow_id=901)
+        distributor = self.admission.distributor
+        assert distributor.demand(
+            self.core.reservation_id, self.up.reservation_id
+        ) == pytest.approx(gbps(0.4))
+        distributor.release_key(ReservationId(SRC, 901))
+        assert distributor.total_demand(self.core.reservation_id) == 0.0
+
+    def test_quota_uses_per_up_share(self):
+        # A second up-SegR's accumulated demand must not count against
+        # this up-SegR's quota headroom while the core is uncontended.
+        other_up = up_segr_record(3, bw=gbps(10), src=IsdAs(1, BASE + 70))
+        self.store.add_segment(other_up)
+        self.admission.distributor.register_demand(
+            self.core.reservation_id,
+            other_up.reservation_id,
+            gbps(0.5),
+            up_capacity=gbps(10),
+        )
+        decision = self.decide(gbps(0.4), flow_id=902)
+        assert decision.granted == pytest.approx(gbps(0.4))
+        # Contended: this up-SegR is at its proportional share, so new
+        # demand from it is denied while the other up keeps its quota.
+        self.admission.distributor.register_demand(
+            self.core.reservation_id,
+            self.up.reservation_id,
+            gbps(0.8),
+            up_capacity=gbps(10),
+        )
+        with pytest.raises(InsufficientBandwidth):
+            self.decide(gbps(0.4), flow_id=903)
+
+
+class TestRenewDelta:
+    """Incremental renewal: adjust the allocation in place from two O(1)
+    reads per SegR, with partial grants and no demand/policy charge."""
+
+    def setup_method(self):
+        self.store = ReservationStore()
+        self.first = segr_record(1, bw=gbps(1))
+        self.second = segr_record(2, bw=gbps(1), src=OTHER)
+        self.store.add_segment(self.first)
+        self.store.add_segment(self.second)
+        self.admission = EerAdmission(SRC, self.store)
+        self.eer = ReservationId(SRC, 300)
+        self.segment_ids = (self.first.reservation_id, self.second.reservation_id)
+        for sid in self.segment_ids:
+            self.store.allocate_on_segment(sid, self.eer, gbps(0.2))
+
+    def test_growth_within_headroom(self):
+        decision = self.admission.renew_delta(
+            self.eer, self.segment_ids, gbps(0.5), now=0.0
+        )
+        assert decision.granted == pytest.approx(gbps(0.5))
+        self.admission.commit_renewal(self.eer, decision, decision.granted)
+        for sid in self.segment_ids:
+            assert self.store.eer_allocation(sid, self.eer) == pytest.approx(
+                gbps(0.5)
+            )
+
+    def test_partial_grant_at_bottleneck(self):
+        # Another EER fills most of the second SegR: the offer is its
+        # current allocation plus the remaining headroom, not a failure.
+        self.store.allocate_on_segment(
+            self.second.reservation_id, ReservationId(OTHER, 999), gbps(0.7)
+        )
+        decision = self.admission.renew_delta(
+            self.eer, self.segment_ids, gbps(0.5), now=0.0
+        )
+        assert decision.granted == pytest.approx(gbps(0.3))
+
+    def test_shrink_never_regresses_allocation(self):
+        # Older versions stay live (§4.2): a smaller renewal must not
+        # lower what the segments already carry.
+        decision = self.admission.renew_delta(
+            self.eer, self.segment_ids, gbps(0.1), now=0.0
+        )
+        assert decision.granted == pytest.approx(gbps(0.1))
+        self.admission.commit_renewal(self.eer, decision, decision.granted)
+        for sid in self.segment_ids:
+            assert self.store.eer_allocation(sid, self.eer) == pytest.approx(
+                gbps(0.2)
+            )
+
+    def test_expired_segr_raises(self):
+        with pytest.raises(ReservationExpired):
+            self.admission.renew_delta(
+                self.eer, self.segment_ids, gbps(0.5), now=400.0
+            )

@@ -344,3 +344,226 @@ class TestInterfacePairIndex:
             index.remove(ReservationId(SRC, i))
         assert index.ingress_demand(1) == 0.0
         assert index.egress_adjusted(2) == 0.0
+
+
+class TestSweepTransactionality:
+    """The sweep is journaled: a sweep inside a rolled-back transaction
+    must leave no trace.  Previously the sweep deleted reservations
+    outside the undo journal while its allocation releases were
+    journaled, so a rollback restored allocations for EERs that no
+    longer existed — a permanent accounting leak."""
+
+    def build(self):
+        store = ReservationStore()
+        segr = make_segr(expiry=300.0)
+        store.add_segment(segr)
+        eer = make_eer(expiry=16.0, segment_ids=(segr.reservation_id,))
+        store.add_eer(eer)
+        store.allocate_on_segment(segr.reservation_id, eer.reservation_id, 1e7)
+        return store, segr, eer
+
+    def test_sweep_rolls_back_with_transaction(self):
+        store, segr, eer = self.build()
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                removed = store.sweep_expired(now=20.0)
+                assert removed == {"eers": 1, "segments": 0}
+                raise RuntimeError("downstream AS denied")
+        # Fully restored: the EER is back AND its allocation still
+        # matches it (the bug left the allocation without the EER).
+        assert store.has_eer(eer.reservation_id)
+        assert store.allocated_on_segment(segr.reservation_id) == pytest.approx(1e7)
+        assert store.eer_allocation(
+            segr.reservation_id, eer.reservation_id
+        ) == pytest.approx(1e7)
+
+    def test_restored_reservations_sweep_again(self):
+        # The rollback must also restore the expiry index, or the
+        # revived EER would never be collected.
+        store, segr, eer = self.build()
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.sweep_expired(now=20.0)
+                raise RuntimeError("fail")
+        removed = store.sweep_expired(now=20.0)
+        assert removed == {"eers": 1, "segments": 0}
+        assert not store.has_eer(eer.reservation_id)
+        assert store.allocated_on_segment(segr.reservation_id) == 0.0
+
+    def test_segment_sweep_rolls_back(self):
+        store, segr, eer = self.build()
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.sweep_expired(now=301.0)
+                assert store.segment_count() == 0
+                raise RuntimeError("fail")
+        assert store.has_segment(segr.reservation_id)
+        assert store.allocated_on_segment(segr.reservation_id) == pytest.approx(1e7)
+        removed = store.sweep_expired(now=301.0)
+        assert removed == {"eers": 1, "segments": 1}
+
+    def test_committed_sweep_sticks(self):
+        store, segr, eer = self.build()
+        with store.transaction():
+            removed = store.sweep_expired(now=20.0)
+        assert removed == {"eers": 1, "segments": 0}
+        assert not store.has_eer(eer.reservation_id)
+        assert store.sweep_expired(now=20.0) == {"eers": 0, "segments": 0}
+
+
+class TestExpiryIndex:
+    def test_window_queries(self):
+        store = ReservationStore()
+        segr = make_segr(expiry=300.0)
+        store.add_segment(segr)
+        near = make_eer(local_id=100, expiry=16.0, segment_ids=(segr.reservation_id,))
+        far = make_eer(local_id=101, expiry=48.0, segment_ids=(segr.reservation_id,))
+        store.add_eer(near)
+        store.add_eer(far)
+        assert store.eers_expiring_by(20.0) == [near]
+        assert sorted(
+            r.reservation_id.local_id for r in store.eers_expiring_by(60.0)
+        ) == [100, 101]
+        assert store.segments_expiring_by(299.0) == []
+        assert store.segments_expiring_by(300.0) == [segr]
+
+    def test_out_of_band_renewal_heals_lazily(self):
+        # A renewal adds a version directly on the object; the next sweep
+        # surfaces the stale schedule, revalidates, and re-indexes
+        # instead of removing the live EER.
+        store = ReservationStore()
+        segr = make_segr(expiry=300.0)
+        store.add_segment(segr)
+        eer = make_eer(expiry=16.0, segment_ids=(segr.reservation_id,))
+        store.add_eer(eer)
+        eer.add_version(E2EVersion(version=2, bandwidth=1e7, expiry=32.0))
+        assert store.sweep_expired(now=20.0) == {"eers": 0, "segments": 0}
+        assert store.has_eer(eer.reservation_id)
+        assert store.sweep_expired(now=32.0) == {"eers": 1, "segments": 0}
+
+    def test_touch_after_expiry_shrink(self):
+        # Dropping the newest version *shrinks* the expiry; touch()
+        # re-indexes so collection is timely, not at the old deadline.
+        store = ReservationStore()
+        eer = make_eer(expiry=16.0)
+        store.add_eer(eer)
+        eer.add_version(E2EVersion(version=2, bandwidth=1e7, expiry=160.0))
+        store.touch(eer.reservation_id)
+        eer.drop_version(2)
+        store.touch(eer.reservation_id)
+        assert store.eers_expiring_by(16.0) == [eer]
+        assert store.sweep_expired(now=16.0) == {"eers": 1, "segments": 0}
+
+    def test_touch_unknown_is_noop(self):
+        store = ReservationStore()
+        store.touch(ReservationId(SRC, 404))
+
+    def test_touch_rolls_back(self):
+        store = ReservationStore()
+        eer = make_eer(expiry=16.0)
+        store.add_eer(eer)
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                eer.add_version(E2EVersion(version=2, bandwidth=1e7, expiry=160.0))
+                store.touch(eer.reservation_id)
+                raise RuntimeError("fail")
+        # The object keeps the version (it is not store state), but the
+        # index schedule is restored to the pre-transaction expiry.
+        assert store._eer_wheel.scheduled_expiry(eer.reservation_id) == 16.0
+
+
+class TestShardedReservationStore:
+    def build(self, shards=4):
+        from repro.reservation import ShardedReservationStore
+
+        store = ShardedReservationStore(shards=shards)
+        segr = make_segr(expiry=300.0)
+        store.add_segment(segr)
+        eer = make_eer(expiry=16.0, segment_ids=(segr.reservation_id,))
+        store.add_eer(eer)
+        store.allocate_on_segment(segr.reservation_id, eer.reservation_id, 1e7)
+        return store, segr, eer
+
+    def test_interface_parity(self):
+        store, segr, eer = self.build()
+        assert store.get_segment(segr.reservation_id) is segr
+        assert store.get_eer(eer.reservation_id) is eer
+        assert store.has_segment(segr.reservation_id)
+        assert store.has_eer(eer.reservation_id)
+        assert store.segment_count() == 1
+        assert store.eer_count() == 1
+        assert store.segments() == [segr]
+        assert store.eers() == [eer]
+        assert store.allocated_on_segment(segr.reservation_id) == pytest.approx(1e7)
+        assert store.eer_allocation(
+            segr.reservation_id, eer.reservation_id
+        ) == pytest.approx(1e7)
+        # the compat view used by persistence and the consistency checker
+        assert dict(store._eer_alloc[segr.reservation_id]) == {
+            eer.reservation_id: 1e7
+        }
+        with pytest.raises(ReservationNotFound):
+            store.get_segment(ReservationId(SRC, 404))
+        with pytest.raises(ReservationNotFound):
+            store.get_eer(ReservationId(SRC, 404))
+        with pytest.raises(ReservationNotFound):
+            store.allocated_on_segment(ReservationId(SRC, 404))
+
+    def test_shard_placement_by_as_pair(self):
+        from repro.reservation import ShardedReservationStore
+
+        store = ShardedReservationStore(shards=4)
+        for local_id in range(1, 9):
+            store.add_segment(make_segr(local_id=local_id))
+        # Same AS pair -> same shard, and the routing stays consistent.
+        occupied = [s for s in store._shards if s.segment_count() > 0]
+        assert len(occupied) == 1
+        assert occupied[0].segment_count() == 8
+
+    def test_cross_shard_transaction_rollback(self):
+        store, segr, eer = self.build()
+        other = ReservationId(SRC, 500)
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.allocate_on_segment(segr.reservation_id, other, 5e6)
+                store.remove_eer(eer.reservation_id)
+                raise RuntimeError("fail")
+        assert store.has_eer(eer.reservation_id)
+        assert store.allocated_on_segment(segr.reservation_id) == pytest.approx(1e7)
+
+    def test_nested_transaction_rejected(self):
+        store, _, _ = self.build()
+        with store.transaction():
+            with pytest.raises(StoreConflict):
+                with store.transaction():
+                    pass
+
+    def test_sweep_releases_cross_shard_allocations(self):
+        # EERs and the SegRs they ride can hash to different shards; the
+        # sweep must release through the router, not shard-locally.
+        from repro.reservation import ShardedReservationStore
+
+        store = ShardedReservationStore(shards=8)
+        segr = make_segr(expiry=300.0)
+        store.add_segment(segr)
+        for local_id in range(100, 120):
+            eer = make_eer(
+                local_id=local_id, expiry=16.0, segment_ids=(segr.reservation_id,)
+            )
+            store.add_eer(eer)
+            store.allocate_on_segment(segr.reservation_id, eer.reservation_id, 1e6)
+        counts, dead_eers, dead_segments = store.sweep_expired_details(now=20.0)
+        assert counts == {"eers": 20, "segments": 0}
+        assert len(dead_eers) == 20 and dead_segments == []
+        assert store.eer_count() == 0
+        assert store.allocated_on_segment(segr.reservation_id) == 0.0
+
+    def test_sweep_rolls_back_across_shards(self):
+        store, segr, eer = self.build()
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.sweep_expired(now=20.0)
+                raise RuntimeError("fail")
+        assert store.has_eer(eer.reservation_id)
+        assert store.allocated_on_segment(segr.reservation_id) == pytest.approx(1e7)
+        assert store.sweep_expired(now=20.0) == {"eers": 1, "segments": 0}
