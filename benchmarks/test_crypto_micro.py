@@ -19,13 +19,16 @@ import pytest
 
 from _helpers import quick_mode, report, report_json, throughput
 from repro.crypto import aead_open, aead_seal, mac, prf, truncated_mac
+from repro.crypto import native
 from repro.crypto.drkey import DrkeyDeriver
 from repro.crypto.mac import KeyedMacContext
 from repro.dataplane.hvf import (
+    burst_stamper,
     eer_hvf,
     eer_hvf_message,
     hop_authenticator,
     segment_token,
+    sigma_schedule,
     sigma_states,
     stamp_hvfs,
     stamp_hvfs_direct,
@@ -72,11 +75,70 @@ def test_crypto_micro(benchmark):
     lines = [f"{'operation':<26} | {'ops/s':>12}"]
     rates = {}
     json_rows = []
+    # Best-of sampling (as in fig6's router_pps): host scheduler noise
+    # is one-sided, so the max over a few draws is the stable estimate.
+    # The measurement duration is part of the config so bench_regress
+    # only ever compares quick-mode runs against quick-mode history and
+    # full runs against full history — its documented contract, which
+    # the bare {"operation": ...} config silently violated.
     for name, op in operations.items():
-        rate = throughput(op, duration=duration)
+        rate = max(throughput(op, duration=duration) for _ in range(3))
         rates[name] = rate
         lines.append(f"{name:<26} | {rate:>12,.0f}")
-        json_rows.append({"config": {"operation": name}, "pps": round(rate, 1)})
+        json_rows.append(
+            {"config": {"operation": name, "duration": duration}, "pps": round(rate, 1)}
+        )
+
+    # Native-kernel rows, when the cffi backend is loaded: the same
+    # 16-hop stamp through each amortization tier — one C call per
+    # packet (schedule block), per single-reservation burst
+    # (stamp_many), and per mixed burst (scatter).  Separate configs
+    # keyed by backend so the regression gate never compares across
+    # backends.
+    if native.available():
+        schedule = sigma_schedule(SIGMAS_16)
+        stamper = burst_stamper(slots=64)
+        messages = b"".join(
+            eer_hvf_message(Timestamp(123456, seq), 600) for seq in range(64)
+        )
+        stamper.reserve(64)
+        for p in range(64):
+            stamper.scheds[p] = schedule._scatter
+            stamper.counts[p] = schedule.count
+            stamper.offsets[p] = p * 64  # 16 hops x 4 B per packet row
+        stamper.messages[:] = messages
+
+        def stamp_many_64():
+            schedule.stamp_many_flat(messages, len(MSG), 64)
+
+        def scatter_64():
+            stamper.stamp_flat(64, len(MSG), 64 * 64)
+
+        native_rows = {
+            "16-hop stamp (native)": (
+                lambda: schedule.stamp_flat(MSG), 1
+            ),
+            "16-hop stamp (native x64)": (stamp_many_64, 64),
+            "16-hop stamp (scatter x64)": (scatter_64, 64),
+        }
+        for name, (op, per_call) in native_rows.items():
+            rate = max(throughput(op, duration=duration) for _ in range(3)) * per_call
+            rates[name] = rate
+            lines.append(f"{name:<26} | {rate:>12,.0f}")
+            json_rows.append(
+                {
+                    "config": {
+                        "operation": name,
+                        "backend": "native",
+                        "duration": duration,
+                    },
+                    "pps": round(rate, 1),
+                }
+            )
+        # The kernel's whole reason to exist: one C call per packet (or
+        # burst) must beat the per-hop hashlib clone loop.
+        assert rates["16-hop stamp (native)"] > rates["16-hop stamp (prehashed)"]
+        assert rates["16-hop stamp (native x64)"] >= rates["16-hop stamp (native)"]
     report("crypto_micro", "Cryptographic primitive rates (one core)", lines)
     report_json("crypto_micro", "crypto_primitive_rates", json_rows)
 

@@ -23,6 +23,15 @@ from repro.crypto.prf import prf, prf_context
 from repro.errors import CryptoError, MacVerificationError
 
 
+# The default truncation width every hot-path caller uses is validated
+# once at import; per-packet calls then only re-validate non-default
+# lengths (see KeyedMacContext.truncated).
+if not 0 < L_HVF <= MAC_LENGTH:  # pragma: no cover - import-time sanity
+    raise ValueError(
+        f"L_HVF must be in (0, {MAC_LENGTH}], got {L_HVF}"
+    )
+
+
 def mac(key: bytes, data: bytes) -> bytes:
     """Full-width (16-byte) MAC over ``data`` under ``key``."""
     tag = prf(key, data)
@@ -70,8 +79,13 @@ class KeyedMacContext:
         return state.digest()
 
     def truncated(self, data: bytes, length: int = L_HVF) -> bytes:
-        """Truncated MAC, equal to ``truncated_mac(key, data, length)``."""
-        if not 0 < length <= MAC_LENGTH:
+        """Truncated MAC, equal to ``truncated_mac(key, data, length)``.
+
+        The default width is validated at module import; only explicit
+        non-default lengths pay the range check here, keeping the
+        ``ValueError`` contract without a per-packet branch pair.
+        """
+        if length != L_HVF and not 0 < length <= MAC_LENGTH:
             raise ValueError(
                 f"truncation length must be in (0, {MAC_LENGTH}], got {length}"
             )

@@ -30,6 +30,7 @@ from __future__ import annotations
 import struct
 
 from repro.constants import L_HVF
+from repro.crypto import native
 from repro.crypto.drkey import DrkeyDeriver, EntityId
 from repro.crypto.mac import KeyedMacContext, constant_time_equal, mac, truncated_mac
 from repro.crypto.prf import prf, prf_context, prf_under_keys
@@ -134,6 +135,106 @@ def stamp_hvfs(states, message: bytes, length: int = L_HVF) -> list:
         clone.update(message)
         append(clone.digest()[:length])
     return hvfs
+
+
+def backend_name() -> str:
+    """Which Eq. (6) implementation the data plane is running on.
+
+    ``"native"`` when the cffi BLAKE2s kernel loaded, ``"python"``
+    otherwise.  Benchmarks record this in their config rows so
+    ``tools/bench_regress.py`` never compares throughput across
+    backends.
+    """
+    return "native" if native.available() else "python"
+
+
+def sigma_schedule(hop_auths, tag_len: int = L_HVF):
+    """Native key schedules for an ordered σ set, or ``None``.
+
+    The vectorized counterpart of :func:`sigma_states`: one contiguous
+    C-side schedule block whose :meth:`~repro.crypto.native.ScheduleBlock.stamp_flat`
+    / ``stamp_many_flat`` / ``stamp_into`` calls are byte-identical to
+    looping :func:`stamp_hvfs`.  Returns ``None`` when the native
+    backend is unavailable so callers keep the hashlib path.
+    """
+    backend = native.backend()
+    if backend is None:
+        return None
+    return native.ScheduleBlock(backend, hop_auths, tag_len)
+
+
+def burst_stamper(tag_len: int = L_HVF, slots: int = 64):
+    """A native scatter stamper for mixed bursts, or ``None``.
+
+    One :class:`~repro.crypto.native.BurstStamper` per data-plane
+    component (the gateway holds one across bursts): the per-packet loop
+    fills its plan arrays, then a single ``colibri_stamp_scatter`` call
+    stamps every packet of the burst — the mixed-burst counterpart of
+    :meth:`~repro.crypto.native.ScheduleBlock.stamp_many_flat`, with the
+    same byte-identity contract.  ``None`` when the native backend is
+    unavailable, in which case callers keep the per-packet paths.
+    """
+    backend = native.backend()
+    if backend is None:
+        return None
+    return native.BurstStamper(backend, tag_len, slots)
+
+
+@profiled("hvf.stamp_hvfs_batch")
+def stamp_hvfs_batch(states, messages, length: int = L_HVF) -> list:
+    """Eq. (6) for a whole burst: one flat HVF string per message.
+
+    ``states`` is either a native
+    :class:`~repro.crypto.native.ScheduleBlock` (all messages must then
+    share one length — the gateway's fixed ``Ts || PktSize`` form) or
+    the tuple from :func:`sigma_states`.  Element ``i`` of the result
+    concatenates all hop tags of ``messages[i]`` in path order —
+    exactly ``b"".join(stamp_hvfs(states, messages[i]))`` — ready to
+    wrap in a :class:`~repro.packets.colibri.HvfVector` without
+    per-hop list churn.
+    """
+    if isinstance(states, native.ScheduleBlock):
+        if not messages:
+            return []
+        message_len = len(messages[0])
+        flat = states.stamp_many_flat(b"".join(messages), message_len, len(messages))
+        row = states.count * states.tag_len
+        return [flat[offset : offset + row] for offset in range(0, len(flat), row)]
+    out = []
+    append = out.append
+    join = b"".join
+    for message in messages:
+        tags = []
+        for state in states:
+            clone = state.copy()
+            clone.update(message)
+            tags.append(clone.digest()[:length])
+        append(join(tags))
+    return out
+
+
+@profiled("hvf.verify_hvfs_batch")
+def verify_hvfs_batch(states, messages, tags, length: int = L_HVF) -> list:
+    """Burst verification: one verdict per (state, message, tag) triple.
+
+    The router-side counterpart of :func:`stamp_hvfs_batch` for σ-cache
+    hits: ``states[i]`` authenticates packet ``i`` (each packet has its
+    own reservation's σ, unlike the gateway which stamps many hops of
+    one reservation).  Entries may mix native
+    :class:`~repro.crypto.native.ScheduleBlock` objects and prehashed
+    hashlib states; comparison is constant-time either way.
+    """
+    verdicts = []
+    append = verdicts.append
+    schedule_type = native.ScheduleBlock
+    for state, message, tag in zip(states, messages, tags):
+        if type(state) is schedule_type:
+            append(state.verify(message, tag))
+        else:
+            clone = state.copy()
+            clone.update(message)
+            append(constant_time_equal(clone.digest()[: len(tag)], tag))
+    return verdicts
 
 
 def stamp_hvfs_direct(hop_auths, message: bytes, length: int = L_HVF) -> list:

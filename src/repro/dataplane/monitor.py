@@ -86,18 +86,37 @@ class DeterministicMonitor:
     def is_watched(self, flow_label: bytes) -> bool:
         return flow_label in self._buckets
 
+    def bucket_for(self, flow_label: bytes):
+        """The flow's token bucket, or ``None`` when unwatched.
+
+        The gateway caches this per reservation (re-synced on every
+        ``watch``) so its burst loops call ``bucket.conforms`` directly
+        instead of re-probing the flow table per packet; callers that
+        inline the pass path must bump :attr:`packets_passed` themselves
+        and report non-conforming packets via :meth:`record_drop`.
+        """
+        return self._buckets.get(flow_label)
+
     def check(self, flow_label: bytes, packet_size: int, now: float) -> bool:
         """Account one packet; ``True`` = conforming, ``False`` = drop.
 
         Unwatched flows pass — the caller decides what to watch.
         """
         bucket = self._buckets.get(flow_label)
-        if bucket is None:
+        if bucket is None or bucket.conforms(packet_size, now):
             self.packets_passed += 1
             return True
-        if bucket.conforms(packet_size, now):
-            self.packets_passed += 1
-            return True
+        self.record_drop(flow_label, now, bucket)
+        return False
+
+    def record_drop(self, flow_label: bytes, now: float, bucket=None) -> None:
+        """Account one non-conforming packet and track confirmation.
+
+        The drop half of :meth:`check`, factored out so callers holding
+        the bucket already (via :meth:`bucket_for`) keep streak tracking,
+        journaling and the confirmation callback identical to the
+        non-inlined path.
+        """
         self.packets_dropped += 1
         count, last_drop = self._drops.get(flow_label, (0, now))
         if now - last_drop > self.confirmation_window:
@@ -107,17 +126,18 @@ class DeterministicMonitor:
         if drops >= self.confirmation_drops and flow_label not in self._confirmed:
             self._confirmed.add(flow_label)
             if self.obs is not None and self.obs.journal is not None:
+                if bucket is None:
+                    bucket = self._buckets.get(flow_label)
                 self.obs.journal.record(
                     MONITOR_CONFIRMED_OVERUSE,
                     isd_as=self.isd_as,
                     flow=flow_label.hex(),
                     drops=drops,
                     window=self.confirmation_window,
-                    bandwidth=bucket.rate,
+                    bandwidth=bucket.rate if bucket is not None else 0.0,
                 )
             if self.on_confirmed is not None:
                 self.on_confirmed(flow_label)
-        return False
 
     def is_confirmed_overuser(self, flow_label: bytes) -> bool:
         return flow_label in self._confirmed

@@ -31,6 +31,7 @@ and Table 2 accounting can distinguish *why* traffic died.
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -50,8 +51,18 @@ from repro.crypto.mac import constant_time_equal, truncated_mac
 from repro.obs.events import VERDICT_DROPPED
 from repro.obs.profile import profiled
 from repro.packets.colibri import ColibriPacket, PacketType
+from repro.packets.fields import ResInfo, Timestamp
 from repro.topology.addresses import IsdAs
 from repro.util.clock import Clock
+
+# Wire-form field readers for validate_wire_batch: the router reads the
+# fields it authenticates straight out of the arena buffer with
+# ``unpack_from`` (which yields fresh ``bytes`` for ``s`` fields — no
+# memoryview copies on the hot path).
+_TS_WIRE = Timestamp.WIRE
+_WIRE_MESSAGE = struct.Struct("!QI")  # Eq. (6) input, Ts word || PktSize
+_HVF_TAG = struct.Struct(f"!{L_HVF}s")
+_SEQ_BITS = Timestamp._SEQ_BITS
 
 
 class Verdict(enum.Enum):
@@ -180,9 +191,7 @@ class BorderRouter:
                 reservation_packed, res_info.version, int(now // DRKEY_VALIDITY)
             )
             if entry is not None:
-                state = entry.state.copy()
-                state.update(message)
-                if constant_time_equal(state.digest()[:L_HVF], hvf):
+                if entry.verify(message, hvf):
                     return True
                 # Stale or poisoned hint: fall through to the stateless
                 # path, which is authoritative.
@@ -338,3 +347,81 @@ class BorderRouter:
         if abs(now - expiry + packet.timestamp.micros_before_expiry / 1e6) > FRESHNESS_WINDOW:
             return False
         return self._authenticate(packet, now, packet.total_size)
+
+    @profiled("router.validate_wire_batch")
+    def validate_wire_batch(self, views) -> List[bool]:
+        """:meth:`validate_batch` over zero-copy wire packets.
+
+        Takes the :class:`~repro.packets.colibri.WirePacketView` bursts
+        the gateway's ``send_batch_wire`` produces and validates each
+        packet *in place* inside its arena slot: expiry, freshness and
+        the σ-cache-hit Eq. (6) check all read header fields straight
+        from the wire buffer, so the hit path never parses a packet
+        object.  Only a miss or rejected hint materializes the packet
+        for the stateless Eq. (4) recompute.  Verdicts (and cache
+        counters) equal running :meth:`validate_batch` over the parsed
+        equivalents.
+        """
+        now = self.clock.now()
+        validate_one = self._validate_wire_one
+        return [validate_one(view, now) for view in views]
+
+    def _validate_wire_one(self, view, now: float) -> bool:
+        buffer = view.buffer
+        base = view.offset
+        if buffer[base + 3] & 0x0F != PacketType.EER_DATA:
+            # Control traffic is off the wire fast path entirely.
+            return self._validate_one(ColibriPacket.from_bytes(view.materialize()), now)
+        hop_count = buffer[base + 4]
+        hop_index = buffer[base + 5]
+        offsets = ColibriPacket.wire_offsets(hop_count, True)
+        reservation_packed, _bandwidth, expiry, version = ResInfo.WIRE.unpack_from(
+            buffer, base + offsets.res
+        )
+        if now > expiry + MAX_CLOCK_SKEW:
+            return False
+        (ts_word,) = _TS_WIRE.unpack_from(buffer, base + offsets.ts)
+        if abs(now - expiry + (ts_word >> _SEQ_BITS) / 1e6) > FRESHNESS_WINDOW:
+            return False
+        (tag,) = _HVF_TAG.unpack_from(buffer, base + offsets.hvf + hop_index * L_HVF)
+        message = _WIRE_MESSAGE.pack(ts_word, view.length)
+        cache = self.sigma_cache
+        if cache is not None:
+            entry = cache.lookup(reservation_packed, version, int(now // DRKEY_VALIDITY))
+            if entry is not None:
+                if entry.verify(message, tag):
+                    return True
+                cache.counters.bump("rejected_hints")
+        return self._authenticate_wire_slow(view, message, tag, now)
+
+    def _authenticate_wire_slow(self, view, message: bytes, tag: bytes, now: float) -> bool:
+        """Stateless Eq. (4) + (6) recompute for a wire packet.
+
+        The cold half of :meth:`_validate_wire_one` — mirrors the tail
+        of :meth:`_authenticate` (including the store-after-validation
+        rule), parsing the packet out of the arena only here, where the
+        MAC recompute already dominates the copy.
+        """
+        packet = ColibriPacket.from_bytes(view.materialize())
+        res_info = packet.res_info
+        ingress, egress = packet.current_pair()
+        cache = self.sigma_cache
+        for when in (now, now - DRKEY_VALIDITY):
+            if when < 0:
+                continue
+            hop_key = self.keys.hop_key(when)
+            sigma = hop_authenticator(
+                hop_key, res_info, packet.eer_info, ingress, egress
+            )
+            if constant_time_equal(truncated_mac(sigma, message), tag):
+                if cache is not None:
+                    cache.store(
+                        (
+                            res_info.reservation.packed,
+                            res_info.version,
+                            int(when // DRKEY_VALIDITY),
+                        ),
+                        sigma,
+                    )
+                return True
+        return False

@@ -26,6 +26,7 @@ to its own position, so authenticating it would add nothing.
 from __future__ import annotations
 
 import struct
+from collections import namedtuple
 from dataclasses import dataclass
 from typing import ClassVar, Optional
 
@@ -38,6 +39,92 @@ FORMAT_VERSION = 1
 
 _FIXED = struct.Struct("!HBBBB")
 _PAYLOAD_LEN = struct.Struct("!I")
+
+#: Byte offsets of every header field within a serialized packet, plus
+#: the total header size.  ``eer`` equals ``ts`` for SEGMENT packets
+#: (the EERInfo field has zero width there).
+WireOffsets = namedtuple(
+    "WireOffsets", ("path", "res", "eer", "ts", "hvf", "payload_len", "header")
+)
+
+
+class HvfVector:
+    """Per-hop HVF tags sharing one flat buffer (zero-copy Eq. 6 output).
+
+    The batch stampers produce all hop tags of a packet as one
+    contiguous byte string (a single C call / one ``join``); this wraps
+    that string as the sequence ``ColibriPacket.hvfs`` expects without
+    slicing ``hop_count`` little ``bytes`` objects up front.  Tags are
+    sliced lazily on access; serialization appends :attr:`flat` in one
+    piece.  ``start``/``count`` let many packets of one burst share a
+    single message-major buffer from ``stamp_many``.
+
+    Item assignment copies the shared buffer first (copy-on-write), so
+    tests forging a tag cannot corrupt sibling packets of the burst.
+    """
+
+    __slots__ = ("buffer", "start", "count")
+
+    def __init__(self, buffer: bytes, start: int = 0, count: Optional[int] = None):
+        if count is None:
+            count = (len(buffer) - start) // L_HVF
+        self.buffer = buffer
+        self.start = start
+        self.count = count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _index(self, index: int) -> int:
+        if index < 0:
+            index += self.count
+        if not 0 <= index < self.count:
+            raise IndexError(f"HVF index {index} out of range for {self.count} hops")
+        return index
+
+    def __getitem__(self, index: int) -> bytes:
+        offset = self.start + self._index(index) * L_HVF
+        return self.buffer[offset : offset + L_HVF]
+
+    def __setitem__(self, index: int, tag: bytes) -> None:
+        if len(tag) != L_HVF:
+            raise PacketFieldError(f"HVF must be {L_HVF} bytes, got {len(tag)}")
+        index = self._index(index)
+        private = bytearray(self.flat)
+        private[index * L_HVF : (index + 1) * L_HVF] = tag
+        self.buffer = bytes(private)
+        self.start = 0
+
+    def __iter__(self):
+        buffer = self.buffer
+        offset = self.start
+        for _ in range(self.count):
+            yield buffer[offset : offset + L_HVF]
+            offset += L_HVF
+
+    @property
+    def flat(self) -> bytes:
+        """All tags concatenated in path order."""
+        start = self.start
+        end = start + self.count * L_HVF
+        buffer = self.buffer
+        if start == 0 and end == len(buffer):
+            return buffer
+        return buffer[start:end]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, HvfVector):
+            return self.flat == other.flat
+        if isinstance(other, (list, tuple)):
+            return self.count == len(other) and all(
+                mine == theirs for mine, theirs in zip(self, other)
+            )
+        return NotImplemented
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return f"HvfVector({self.count} tags)"
 
 
 class PacketType:
@@ -157,6 +244,34 @@ class ColibriPacket:
     #: Eq. 6), so the table turns that into one dict probe.
     _HEADER_SIZES: ClassVar[dict] = {}
 
+    #: Memoized ``(hop_count, is_eer_data) -> WireOffsets`` — the field
+    #: positions the zero-copy paths patch in place (Ts, HVFs) or read
+    #: with ``unpack_from`` (router wire validation).
+    _WIRE_OFFSETS: ClassVar[dict] = {}
+
+    @staticmethod
+    def wire_offsets(hop_count: int, is_eer_data: bool = True) -> WireOffsets:
+        """Field offsets within the serialized header.
+
+        The arena fast paths never re-derive the layout per packet: the
+        gateway patches Ts and stamps HVFs at these fixed positions in a
+        prebuilt header template, and the router ``unpack_from``s the
+        fields it authenticates straight out of the wire buffer.
+        """
+        key = (hop_count, is_eer_data)
+        offsets = ColibriPacket._WIRE_OFFSETS.get(key)
+        if offsets is None:
+            path = _FIXED.size
+            res = path + hop_count * PathField.WIRE_PAIR.size
+            eer = res + ResInfo.SIZE
+            ts = eer + (EerInfo.SIZE if is_eer_data else 0)
+            hvf = ts + Timestamp.SIZE
+            payload_len = hvf + hop_count * L_HVF
+            header = payload_len + _PAYLOAD_LEN.size
+            offsets = WireOffsets(path, res, eer, ts, hvf, payload_len, header)
+            ColibriPacket._WIRE_OFFSETS[key] = offsets
+        return offsets
+
     @staticmethod
     def header_size_for(hop_count: int, is_eer_data: bool = True) -> int:
         """Header bytes of a packet with ``hop_count`` hops.
@@ -181,6 +296,31 @@ class ColibriPacket:
             )
             ColibriPacket._HEADER_SIZES[key] = size
         return size
+
+    @staticmethod
+    def wire_template(
+        packet_type: int,
+        path: PathField,
+        res_info: ResInfo,
+        eer_info: Optional[EerInfo] = None,
+    ) -> bytes:
+        """Serialized header up to (excluding) Ts, at ``hop_index`` 0.
+
+        Everything before the Ts field is constant for one reservation
+        version, so the zero-copy gateway builds this prefix once and
+        copies it into each arena slot, then patches only Ts, HVFs and
+        the payload section in place — byte-identical to
+        :meth:`to_bytes` of the equivalent packet object.
+        """
+        flags = packet_type & 0x0F
+        parts = [
+            _FIXED.pack(MAGIC, FORMAT_VERSION, flags, len(path), 0),
+            path.packed,
+            res_info.packed,
+        ]
+        if eer_info is not None:
+            parts.append(eer_info.packed)
+        return b"".join(parts)
 
     @property
     def header_size(self) -> int:
@@ -219,7 +359,11 @@ class ColibriPacket:
         if self.is_eer_data:
             parts.append(self.eer_info.packed)
         parts.append(self.timestamp.packed)
-        parts.extend(self.hvfs)
+        hvfs = self.hvfs
+        if type(hvfs) is HvfVector:
+            parts.append(hvfs.flat)
+        else:
+            parts.extend(hvfs)
         parts.append(_PAYLOAD_LEN.pack(len(self.payload)))
         parts.append(self.payload)
         return b"".join(parts)
@@ -285,3 +429,56 @@ class ColibriPacket:
             f"ColibriPacket({kind}, res={self.res_info.reservation}, "
             f"hop={self.hop_index}/{self.hop_count}, {self.total_size} B)"
         )
+
+
+class WirePacketView:
+    """A serialized packet living inside a shared arena buffer.
+
+    The zero-copy gateway path (``send_batch_wire``) writes each packet
+    straight into a :class:`~repro.packets.wire.PacketArena` slot and
+    hands out these views instead of ``bytes``.  A view stays valid
+    until the arena is ``reset()`` for the next burst — the same
+    lifetime contract as a DPDK mbuf.  ``view()`` exposes the bytes
+    without copying (what the router's wire validation reads);
+    ``materialize()`` copies them out for anything that must outlive
+    the burst.
+    """
+
+    __slots__ = ("buffer", "offset", "length")
+
+    def __init__(self, buffer: bytearray, offset: int, length: int):
+        self.buffer = buffer
+        self.offset = offset
+        self.length = length
+
+    def view(self) -> memoryview:
+        """Zero-copy window onto the packet's wire bytes."""
+        return memoryview(self.buffer)[self.offset : self.offset + self.length]
+
+    @property
+    def hop_index(self) -> int:
+        """Current-hop pointer, read straight off the wire."""
+        return self.buffer[self.offset + 5]
+
+    @property
+    def hop_count(self) -> int:
+        return self.buffer[self.offset + 4]
+
+    def advance_hop(self) -> None:
+        """Patch the hop pointer in place — the per-hop header mutation
+        a forwarding router performs, without reserializing anything
+        (``hop_index`` is the only mutable wire field)."""
+        hop_index = self.buffer[self.offset + 5]
+        if hop_index + 1 >= self.buffer[self.offset + 4]:
+            raise PacketFieldError("cannot advance past the last hop")
+        self.buffer[self.offset + 5] = hop_index + 1
+
+    def materialize(self) -> bytes:
+        """Copy the packet out of the arena (cold path only)."""
+        return bytes(self.buffer[self.offset : self.offset + self.length])
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"WirePacketView({self.length} B @ {self.offset})"

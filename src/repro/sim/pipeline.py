@@ -22,7 +22,8 @@ from typing import List, Optional
 from repro.dataplane.queueing import TrafficClass
 from repro.dataplane.router import Verdict
 from repro.errors import ColibriError
-from repro.packets.colibri import ColibriPacket
+from repro.packets.colibri import ColibriPacket, WirePacketView
+from repro.packets.wire import PacketArena
 from repro.sim.scenario import ColibriNetwork
 from repro.topology.addresses import IsdAs
 
@@ -204,5 +205,84 @@ class PathPipeline:
                     next_wave.append((index, packet, latency, per_hop))
                 else:
                     raise ColibriError(f"unexpected verdict {result.verdict}")
+            wave = next_wave
+        return reports
+
+    def send_batch_wire(
+        self,
+        payloads: list,
+        traffic_class: TrafficClass = TrafficClass.EER_DATA,
+        arena: Optional[PacketArena] = None,
+    ) -> List[LatencyReport]:
+        """:meth:`send_batch` over zero-copy wire forms.
+
+        The gateway stamps the burst straight into a packet arena
+        (:meth:`~repro.dataplane.gateway.ColibriGateway.send_batch_wire`),
+        each hop's router validates the views in place
+        (:meth:`~repro.dataplane.router.BorderRouter.validate_wire_batch`),
+        and forwarding advances the wire hop pointer with a one-byte
+        in-place patch — no packet object and no reserialization
+        anywhere on the path.  This models the EER *forwarding* fast
+        path: a packet validating at every hop is delivered at the
+        last one, a packet failing validation drops at that AS
+        (control-plane verdicts never arise for EER data packets).
+        Latency accounting is identical to :meth:`send_batch`.
+
+        Pass ``arena`` to reuse one slab across bursts; by default a
+        burst-sized arena is allocated here.
+        """
+        source = self.handle.hops[0].isd_as
+        gateway = self.network.gateway(source)
+        if arena is None:
+            header = ColibriPacket.header_size_for(
+                len(self.handle.hops), is_eer_data=True
+            )
+            slot = header + max(
+                (len(payload) for payload in payloads), default=0
+            )
+            arena = PacketArena(slots=max(1, len(payloads)), slot_size=slot)
+        outcomes = gateway.send_batch_wire(
+            [(self.handle.reservation_id, payload) for payload in payloads],
+            arena,
+        )
+        now = self.network.clock.now()
+        reports: List[Optional[LatencyReport]] = [None] * len(outcomes)
+        wave = []
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, WirePacketView):
+                wave.append((index, outcome, 0.0, []))
+            else:
+                reports[index] = LatencyReport(
+                    delivered=False, latency=0.0, per_hop=[], dropped_at=source
+                )
+        while wave:
+            isd_as = self.handle.hops[wave[0][1].hop_index].isd_as
+            router = self.network.router(isd_as)
+            valid = router.validate_wire_batch(
+                [packet for _, packet, _, _ in wave]
+            )
+            port = self.ports[isd_as]
+            next_wave = []
+            for (index, packet, latency, per_hop), ok in zip(wave, valid):
+                if not ok:
+                    reports[index] = LatencyReport(
+                        delivered=False,
+                        latency=latency,
+                        per_hop=per_hop,
+                        dropped_at=isd_as,
+                    )
+                    continue
+                hop_delay = port.transit_delay(
+                    len(packet), traffic_class, now + latency
+                )
+                latency += hop_delay
+                per_hop.append((isd_as, hop_delay))
+                if packet.hop_index + 1 >= packet.hop_count:
+                    reports[index] = LatencyReport(
+                        delivered=True, latency=latency, per_hop=per_hop
+                    )
+                else:
+                    packet.advance_hop()
+                    next_wave.append((index, packet, latency, per_hop))
             wave = next_wave
         return reports

@@ -459,3 +459,308 @@ class TestShardExecutor:
         assert total["sigma_cache_misses"] == 64
         assert total["sigma_cache_hits"] > 0
         assert total["sigma_cache_entries"] == 64
+
+
+def run_wire_workload(mode):
+    """The randomized workload of :func:`run_workload`, through either
+    ``send_batch`` (``"object"``) or ``send_batch_wire`` (``"wire"``).
+
+    Halfway through, one reservation is renewed in place (version 2,
+    fresh σ, fresh bucket) — both paths must pick up the new schedule
+    at exactly the same packet.  Wire successes are returned as their
+    raw bytes (copied out before the next burst reclaims the arena), so
+    the equivalence assertion is exactly
+    ``view.materialize() == packet.to_bytes()`` across the workload.
+    """
+    from repro.packets.wire import PacketArena
+
+    clock, gateway, router, mid_keys = make_stack()
+    for local_id in WORKLOAD_IDS:
+        install(gateway, mid_keys, clock, bandwidth=mbps(1), local_id=local_id)
+    rng = random.Random(2026)
+    requests = []
+    for index in range(64):
+        if index % 17 == 13:
+            requests.append((ReservationId(SRC, 99), b""))  # never installed
+        else:
+            local_id = WORKLOAD_IDS[rng.randrange(len(WORKLOAD_IDS))]
+            requests.append(
+                (ReservationId(SRC, local_id), b"z" * rng.randrange(400, 1400))
+            )
+    RENEW_AT = 32  # burst boundary where WORKLOAD_IDS[0] renews to v2
+
+    wire_bytes = []
+    drops = []
+    position = 0
+    if mode == "wire":
+        arena = PacketArena(slots=16, slot_size=4096)
+        for start in range(0, len(requests), 16):
+            if start == RENEW_AT:
+                install(
+                    gateway, mid_keys, clock, bandwidth=mbps(1),
+                    local_id=WORKLOAD_IDS[0], version=2,
+                )
+            outcomes = gateway.send_batch_wire(requests[start : start + 16], arena)
+            for outcome in outcomes:
+                if isinstance(outcome, Exception):
+                    drops.append((position, type(outcome).__name__))
+                else:
+                    wire_bytes.append(outcome.materialize())
+                position += 1
+    else:
+        for start in range(0, len(requests), 16):
+            if start == RENEW_AT:
+                install(
+                    gateway, mid_keys, clock, bandwidth=mbps(1),
+                    local_id=WORKLOAD_IDS[0], version=2,
+                )
+            for outcome in gateway.send_batch(requests[start : start + 16]):
+                if isinstance(outcome, Exception):
+                    drops.append((position, type(outcome).__name__))
+                else:
+                    wire_bytes.append(outcome.to_bytes())
+                position += 1
+    return {
+        "bytes": wire_bytes,
+        "drops": drops,
+        "sent": gateway.packets_sent,
+        "dropped": gateway.packets_dropped,
+        "passed": gateway.monitor.packets_passed,
+    }
+
+
+class TestWireEquivalence:
+    """send_batch_wire ≡ send_batch: bytes, drops, counters, lifetimes."""
+
+    def test_wire_property_matches_object_path(self):
+        wire = run_wire_workload("wire")
+        obj = run_wire_workload("object")
+        assert wire["bytes"] == obj["bytes"]
+        assert wire["drops"] == obj["drops"]
+        assert len(wire["drops"]) > 0  # the workload exercises drops
+        assert wire["sent"] == obj["sent"]
+        assert wire["dropped"] == obj["dropped"]
+        assert wire["passed"] == obj["passed"]
+        # The mid-workload renewal really happened: the renewed id's
+        # packets carry both versions across the run.
+        renewed = ReservationId(SRC, WORKLOAD_IDS[0])
+        versions = {
+            packet.res_info.version
+            for packet in map(ColibriPacket.from_bytes, wire["bytes"])
+            if packet.res_info.reservation == renewed
+        }
+        assert versions == {1, 2}
+
+    def test_wire_packets_parse_and_verify_at_router(self):
+        from repro.packets.wire import PacketArena
+
+        clock, gateway, router, mid_keys = make_stack()
+        res_id, _ = install(gateway, mid_keys, clock)
+        arena = PacketArena(slots=8, slot_size=2048)
+        views = gateway.send_batch_wire([(res_id, b"pay")] * 4, arena)
+        for view in views:
+            packet = ColibriPacket.from_bytes(view.materialize())
+            packet.hop_index = 1
+            assert router.process(packet).verdict is Verdict.FORWARD
+
+    def test_views_occupy_disjoint_slots(self):
+        from repro.packets.wire import PacketArena
+
+        clock, gateway, router, mid_keys = make_stack()
+        res_id, _ = install(gateway, mid_keys, clock)
+        arena = PacketArena(slots=8, slot_size=2048)
+        views = gateway.send_batch_wire([(res_id, b"pay")] * 8, arena)
+        spans = sorted((view.offset, view.offset + view.length) for view in views)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+        # All views window the one arena buffer — no copies were made.
+        assert all(view.buffer is arena.buffer for view in views)
+
+    def test_views_die_at_the_next_burst(self):
+        """The mbuf lifetime contract: send_batch_wire resets the arena,
+        so views from the previous burst alias the new burst's slots."""
+        from repro.packets.wire import PacketArena
+
+        clock, gateway, router, mid_keys = make_stack()
+        res_id, _ = install(gateway, mid_keys, clock)
+        arena = PacketArena(slots=8, slot_size=2048)
+        first = gateway.send_batch_wire([(res_id, b"A" * 64)], arena)[0]
+        kept = first.materialize()
+        second = gateway.send_batch_wire([(res_id, b"B" * 64)], arena)[0]
+        # Same storage, new packet: the stale view now shows new bytes.
+        assert first.offset == second.offset
+        assert first.materialize() == second.materialize()
+        assert first.materialize() != kept
+
+    def test_reused_slot_never_leaks_into_verdict(self):
+        """Buffer aliasing must not launder authenticity: after a slot
+        held a valid packet, a forged packet written into the *same*
+        slot must still verify False — the router may only read the
+        current bytes, never a verdict (or σ-cache hint) earned by the
+        slot's previous occupant."""
+        from repro.packets.wire import PacketArena
+
+        clock, gateway, router, mid_keys = make_stack()
+        res_id, _ = install(gateway, mid_keys, clock)
+        arena = PacketArena(slots=1, slot_size=2048)
+
+        first = gateway.send_batch_wire([(res_id, b"honest")], arena)[0]
+        first.advance_hop()  # arriving at the middle AS
+        assert router.validate_wire_batch([first]) == [True]
+
+        # The next burst reclaims the only slot, then the attacker (or
+        # a stale write) flips the current hop's HVF bytes in place.
+        second = gateway.send_batch_wire([(res_id, b"honest")], arena)[0]
+        assert second.offset == first.offset  # really the same storage
+        second.advance_hop()
+        offsets = ColibriPacket.wire_offsets(second.hop_count, True)
+        hvf_at = second.offset + offsets.hvf + second.hop_index * L_HVF
+        arena.buffer[hvf_at : hvf_at + L_HVF] = bytes(
+            byte ^ 0xFF for byte in arena.buffer[hvf_at : hvf_at + L_HVF]
+        )
+        assert router.validate_wire_batch([second]) == [False]
+
+        # And an honest packet through the same slot verifies again —
+        # the False above came from the bytes, not a poisoned slot.
+        third = gateway.send_batch_wire([(res_id, b"honest")], arena)[0]
+        third.advance_hop()
+        assert router.validate_wire_batch([third]) == [True]
+
+    def test_wire_equals_object_for_every_backend(self, monkeypatch):
+        """Identity holds on the pure-Python fallback too."""
+        from repro.crypto import native
+        from repro.packets.wire import PacketArena
+
+        monkeypatch.setenv("COLIBRI_NATIVE", "0")
+        native.reset_for_tests()
+        try:
+            wire = run_wire_workload("wire")
+            obj = run_wire_workload("object")
+            assert wire["bytes"] == obj["bytes"]
+            assert wire["drops"] == obj["drops"]
+        finally:
+            native.reset_for_tests()
+
+
+def _native_backend():
+    from repro.crypto import native
+
+    return native.backend()
+
+
+@pytest.mark.skipif(_native_backend() is None, reason="native backend unavailable")
+class TestNativeBatchIdentity:
+    """Native batch entry points ≡ hashlib, byte for byte."""
+
+    def _sigmas(self, count, seed=0):
+        rng = random.Random(seed)
+        return tuple(bytes(rng.randrange(256) for _ in range(16)) for _ in range(count))
+
+    def test_schedule_block_matches_hashlib_all_hop_counts(self):
+        """Covers every lane-residue of the 8-way kernel (1..20 hops)
+        and both the single-block and multi-block message paths."""
+        from repro.dataplane.hvf import sigma_schedule, sigma_states, stamp_hvfs
+
+        for count in range(1, 21):
+            sigmas = self._sigmas(count, seed=count)
+            schedule = sigma_schedule(sigmas)
+            states = sigma_states(sigmas)
+            for message in (b"\x01" * 12, b"long message " * 11):
+                assert schedule.stamp_flat(message) == b"".join(
+                    stamp_hvfs(states, message)
+                ), f"mismatch at {count} hops, {len(message)} B message"
+
+    def test_stamp_hvfs_batch_native_equals_python(self):
+        from repro.dataplane.hvf import sigma_schedule, sigma_states, stamp_hvfs_batch
+
+        sigmas = self._sigmas(16, seed=3)
+        messages = [bytes([seq]) * 12 for seq in range(32)]
+        native_rows = stamp_hvfs_batch(sigma_schedule(sigmas), messages)
+        python_rows = stamp_hvfs_batch(sigma_states(sigmas), messages)
+        assert native_rows == python_rows
+
+    def test_verify_hvfs_batch_mixed_states(self):
+        from repro.crypto.prf import prf_context
+        from repro.dataplane.hvf import sigma_schedule, stamp_hvfs_batch, verify_hvfs_batch
+
+        sigmas = self._sigmas(6, seed=4)
+        messages = [bytes([seq]) * 12 for seq in range(6)]
+        tags = [
+            stamp_hvfs_batch(sigma_schedule((sigma,)), [message])[0]
+            for sigma, message in zip(sigmas, messages)
+        ]
+        tags[2] = b"\x00" * L_HVF  # forged
+        states = [
+            sigma_schedule((sigma,)) if index % 2 == 0 else prf_context(sigma)
+            for index, sigma in enumerate(sigmas)
+        ]
+        verdicts = verify_hvfs_batch(states, messages, tags)
+        assert verdicts == [True, True, False, True, True, True]
+
+    def test_burst_stamper_scatter_equals_per_packet(self):
+        """The scatter plan (mixed hop counts, interleaved output rows)
+        produces exactly what per-packet stamp_flat calls produce."""
+        from repro.dataplane.hvf import burst_stamper, sigma_schedule
+
+        rng = random.Random(9)
+        schedules = [
+            sigma_schedule(self._sigmas(rng.choice((1, 3, 8, 13, 16)), seed=n))
+            for n in range(24)
+        ]
+        messages = [bytes(rng.randrange(256) for _ in range(12)) for _ in schedules]
+        stamper = burst_stamper(slots=len(schedules))
+        assert stamper is not None
+        position = 0
+        rows = []
+        for index, (schedule, message) in enumerate(zip(schedules, messages)):
+            stamper.scheds[index] = schedule._scatter
+            stamper.counts[index] = schedule.count
+            stamper.offsets[index] = position
+            rows.append((position, schedule.count * stamper.tag_len))
+            position += schedule.count * stamper.tag_len
+        stamper.messages[:] = b"".join(messages)
+        flat = stamper.stamp_flat(len(schedules), 12, position)
+        for (start, width), schedule, message in zip(rows, schedules, messages):
+            assert flat[start : start + width] == schedule.stamp_flat(message)
+
+
+class TestShardWorkerPool:
+    """Persistent workers: steady-state reuse with serial-identical results."""
+
+    def test_pool_reuses_the_same_workers(self):
+        from repro.dataplane.shards import ShardWorkerPool
+
+        executor = ShardExecutor("gateway", reservations=64, packets=256, batch=32)
+        with ShardWorkerPool(2) as pool:
+            pids = {worker.pid for worker in pool._workers}
+            assert len(pids) == 2
+            for _ in range(3):
+                outcomes = pool.map(executor._specs(2))
+                assert all(outcome.packets > 0 for outcome in outcomes)
+                # Same processes every round — no respawn between runs.
+                assert {worker.pid for worker in pool._workers} == pids
+
+    def test_pool_results_equal_serial(self):
+        from repro.dataplane.shards import ShardWorkerPool
+
+        executor = ShardExecutor("gateway", reservations=64, packets=256, batch=32)
+        specs = executor._specs(2)
+        serial = [run_shard(spec) for spec in specs]
+        with ShardWorkerPool(2) as pool:
+            pooled = pool.map(specs)
+        assert [outcome.counters for outcome in pooled] == [
+            outcome.counters for outcome in serial
+        ]
+        assert [outcome.packets for outcome in pooled] == [
+            outcome.packets for outcome in serial
+        ]
+
+    def test_available_cpus_reads_affinity(self, monkeypatch):
+        import os as os_module
+
+        if not hasattr(os_module, "sched_getaffinity"):
+            pytest.skip("platform exposes no affinity mask")
+        monkeypatch.setattr(
+            os_module, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=True
+        )
+        assert ShardExecutor.available_cpus() == 3

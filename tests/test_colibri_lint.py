@@ -266,6 +266,76 @@ class TestCL010ModuleState(unittest.TestCase):
         self.assertEqual([], rules_hit(source, self.DP))
 
 
+class TestCL011ArenaCopies(unittest.TestCase):
+    DP = "src/repro/dataplane/fastpath.py"
+
+    def test_tobytes_on_view_local_flagged(self):
+        source = """
+        @profiled("x.hot")
+        def hot(view):
+            window = view.view()
+            return window.tobytes()
+        """
+        self.assertIn("CL011", rules_hit(source, self.DP))
+
+    def test_bytes_of_memoryview_flagged(self):
+        source = """
+        @profiled("x.hot")
+        def hot(buf):
+            return bytes(memoryview(buf))
+        """
+        self.assertIn("CL011", rules_hit(source, self.DP))
+
+    def test_bytes_of_buffer_attribute_flagged(self):
+        source = """
+        @profiled("x.hot")
+        def hot(arena):
+            return bytes(arena.buffer)
+        """
+        self.assertIn("CL011", rules_hit(source, self.DP))
+
+    def test_sliced_view_still_flagged(self):
+        source = """
+        @profiled("x.hot")
+        def hot(view):
+            window = view.view()
+            return bytes(window[4:8])
+        """
+        self.assertIn("CL011", rules_hit(source, self.DP))
+
+    def test_undecorated_cold_path_clean(self):
+        source = """
+        def materialize(view):
+            return view.view().tobytes()
+        """
+        self.assertEqual([], rules_hit(source, self.DP))
+
+    def test_hot_path_without_copies_clean(self):
+        source = """
+        @profiled("x.hot")
+        def hot(view):
+            window = view.view()
+            return window[0]
+        """
+        self.assertEqual([], rules_hit(source, self.DP))
+
+    def test_bytes_of_plain_value_clean(self):
+        source = """
+        @profiled("x.hot")
+        def hot(n):
+            return bytes(n)
+        """
+        self.assertEqual([], rules_hit(source, self.DP))
+
+    def test_other_packages_exempt(self):
+        source = """
+        @profiled("x.hot")
+        def hot(view):
+            return bytes(view.view())
+        """
+        self.assertEqual([], rules_hit(source, "src/repro/packets/codec.py"))
+
+
 class TestSuppressions(unittest.TestCase):
     def test_line_suppression(self):
         source = "def f(tag):\n    assert tag  # colibri-lint: disable=CL003\n"

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from tools.colibri_lint.rules.arena_copies import ArenaCopyRule
 from tools.colibri_lint.rules.asserts import ProductionAssertRule
 from tools.colibri_lint.rules.base import Rule
 from tools.colibri_lint.rules.citations import ConstantCitationRule
@@ -25,6 +26,7 @@ ALL_RULES: list = [
     ConstantCitationRule(),
     LibraryPrintRule(),
     ModuleStateRule(),
+    ArenaCopyRule(),
 ]
 
 RULES_BY_ID: dict = {rule.rule_id: rule for rule in ALL_RULES}

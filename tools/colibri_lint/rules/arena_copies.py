@@ -1,0 +1,140 @@
+"""CL011 — no arena copies inside profiled data-plane hot paths.
+
+The zero-copy wire path exists precisely so the per-packet loop never
+materializes a fresh ``bytes`` (``docs/performance.md``, round 2): the
+gateway stamps into :class:`~repro.packets.wire.PacketArena` slots and
+the router validates straight out of them.  One careless
+``bytes(view)`` or ``view.tobytes()`` inside a hot loop silently
+reintroduces the very allocation the arena removed — the benchmark
+regresses, the tests stay green, nobody notices until the trajectory
+file does.
+
+This rule fences the invariant syntactically: inside any
+``src/repro/dataplane/`` function decorated ``@profiled(...)`` (the
+marker the perf harness uses for hot-path attribution), calling
+``bytes(...)`` or ``.tobytes()`` on a memoryview-ish expression is a
+finding.  "Memoryview-ish" means the expression is, or is a local
+assigned from,
+
+* a ``memoryview(...)`` construction,
+* a ``.view()`` call (the :class:`WirePacketView` accessor), or
+* a ``.buffer`` attribute (the arena's backing slab).
+
+Deliberate cold-path copies (``WirePacketView.materialize`` on a cache
+miss) live in undecorated helpers, outside the fence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from tools.analysis_core.context import FileContext
+from tools.analysis_core.findings import Finding
+from tools.colibri_lint.rules.base import Rule
+
+#: The hot-path marker decorator.
+HOT_DECORATOR = "profiled"
+#: Method calls whose result is a zero-copy window.
+VIEW_CALLS = frozenset({"memoryview", "view"})
+#: Attributes exposing a shared backing buffer.
+VIEW_ATTRS = frozenset({"buffer"})
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_profiled(fn: ast.AST) -> bool:
+    return any(
+        _decorator_name(decorator) == HOT_DECORATOR
+        for decorator in getattr(fn, "decorator_list", [])
+    )
+
+
+def _is_view_expr(expr: ast.expr, view_locals: Set[str]) -> bool:
+    """Is this expression a zero-copy window (or a local bound to one)?"""
+    if isinstance(expr, ast.Name):
+        return expr.id in view_locals
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        return name in VIEW_CALLS
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in VIEW_ATTRS
+    if isinstance(expr, ast.Subscript):
+        # A slice of a view is still a view (memoryview slicing is
+        # zero-copy); a slice of anything else is not our business.
+        return _is_view_expr(expr.value, view_locals)
+    return False
+
+
+class ArenaCopyRule(Rule):
+    rule_id = "CL011"
+    name = "no-arena-copies-in-hot-paths"
+    rationale = (
+        "bytes(view)/.tobytes() on an arena memoryview inside a "
+        "@profiled data-plane function reintroduces the per-packet "
+        "allocation the zero-copy path removed; copy in a cold-path "
+        "helper instead."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_production and "/repro/dataplane/" in f"/{ctx.rel_path}"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_profiled(node):
+                continue
+            yield from self._check_hot_function(ctx, node)
+
+    def _check_hot_function(
+        self, ctx: FileContext, fn: ast.AST
+    ) -> Iterator[Finding]:
+        view_locals: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and _is_view_expr(
+                node.value, view_locals
+            ):
+                view_locals.update(
+                    target.id
+                    for target in node.targets
+                    if isinstance(target, ast.Name)
+                )
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "tobytes"
+                and _is_view_expr(func.value, view_locals)
+            ):
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset,
+                    f"hot path {fn.name}() copies an arena view with "
+                    ".tobytes(); keep the zero-copy invariant or move the "
+                    "copy to an undecorated cold-path helper",
+                )
+            elif (
+                isinstance(func, ast.Name)
+                and func.id == "bytes"
+                and len(node.args) == 1
+                and _is_view_expr(node.args[0], view_locals)
+            ):
+                yield self.finding(
+                    ctx, node.lineno, node.col_offset,
+                    f"hot path {fn.name}() materializes bytes(...) from an "
+                    "arena view; keep the zero-copy invariant or move the "
+                    "copy to an undecorated cold-path helper",
+                )
