@@ -1,0 +1,83 @@
+"""Internet-scale campaign bench: the flash-crowd scenario at scale.
+
+The full configuration drives the canonical flash-crowd campaign over a
+2000-AS CAIDA-like topology until it has processed ≥10⁵ EER arrivals —
+the EXPERIMENTS.md "internet-scale" record — with every harness
+invariant live (accounting audit, journal completeness,
+identity-verified policing, SLO replay equivalence, zero residual
+state).  Quick mode (``COLIBRI_BENCH_QUICK=1``, the CI campaign-smoke
+job) runs the 300-AS default scale instead: same code paths, minutes
+less wall clock.
+
+Throughput is reported as EER arrivals processed per wall second, gated
+by ``tools/bench_regress.py`` per exact configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from _helpers import quick_mode, report, report_json
+from repro.sim.campaign import CampaignRunner
+from repro.sim.campaigns import DEFAULT, FULL, TOPOLOGY_PARAMS, flash_crowd
+
+
+def test_campaign_scale():
+    scale = DEFAULT if quick_mode() else FULL
+    as_count = TOPOLOGY_PARAMS[scale]["as_count"]
+    spec = dataclasses.replace(
+        flash_crowd(scale, seed=7),
+        # Full scale journals every admission decision on every on-path
+        # AS plus sweeps: size the ring so nothing is ever dropped
+        # (replay equivalence requires a complete journal).
+        journal_capacity=1 << 21,
+    )
+    runner = CampaignRunner(spec)
+    wall_start = time.perf_counter()
+    result = runner.run()
+    wall = time.perf_counter() - wall_start
+
+    assert result.ok, result.violations
+    assert result.replay_equivalent
+    arrivals = sum(r.stats["arrivals"] for r in result.phase_reports)
+    admitted = sum(r.stats["admitted"] for r in result.phase_reports)
+    journal_events = int(result.phase_reports[-1].memory["journal_events"])
+    peak_store_kb = max(
+        r.memory["store_bytes"] for r in result.phase_reports
+    ) / 1024
+    if not quick_mode():
+        assert as_count >= 2000
+        assert arrivals >= 100_000
+    assert result.phase_reports[-1].memory["live_eers"] == 0.0
+
+    lines = [
+        f"scale: {scale} ({as_count} ASes)   wall: {wall:,.1f} s",
+        f"EER arrivals: {arrivals:,}   admitted: {admitted:,} "
+        f"({admitted / max(1, arrivals):.1%})   "
+        f"throughput: {arrivals / wall:,.0f} arrivals/s",
+        f"journal: {journal_events:,} events (0 dropped)   "
+        f"peak store: {peak_store_kb:,.0f} KB   residual EERs: 0",
+        f"SLO replay equivalent: {result.replay_equivalent}   "
+        f"violations: {len(result.violations)}",
+    ]
+    report(
+        "campaign_scale",
+        "Internet-scale flash-crowd campaign (phased harness, all "
+        "invariants live)",
+        lines,
+    )
+    report_json(
+        "campaign_scale",
+        "campaign_scale",
+        [
+            {
+                "config": {
+                    "scale": scale,
+                    "as_count": as_count,
+                    "seed": spec.seed,
+                },
+                "pps": arrivals / wall,
+            }
+        ],
+    )

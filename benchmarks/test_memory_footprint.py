@@ -15,7 +15,6 @@ routers grow linearly:
 from __future__ import annotations
 
 import gc
-import sys
 
 import pytest
 
@@ -37,34 +36,12 @@ from repro.topology.addresses import HostAddr
 from repro.topology.graph import NO_INTERFACE
 from repro.topology.segments import HopField
 from repro.util.clock import SimClock
+from repro.util.memsize import deep_size
 from repro.util.units import gbps, mbps
 
 BASE = 0xFF00_0000_0000
 SCALES = [0, 1000, 10_000]
 STORE_SCALES = [2_000, 10_000] if quick_mode() else [10_000, 100_000]
-
-
-def deep_size(obj, seen=None) -> int:
-    """Recursive sys.getsizeof over the object graph (id-deduplicated)."""
-    if seen is None:
-        seen = set()
-    if id(obj) in seen:
-        return 0
-    seen.add(id(obj))
-    size = sys.getsizeof(obj)
-    if isinstance(obj, dict):
-        size += sum(deep_size(k, seen) + deep_size(v, seen) for k, v in obj.items())
-    elif isinstance(obj, (list, tuple, set, frozenset)):
-        size += sum(deep_size(item, seen) for item in obj)
-    elif hasattr(obj, "__dict__"):
-        size += deep_size(obj.__dict__, seen)
-    elif hasattr(obj, "__slots__"):
-        size += sum(
-            deep_size(getattr(obj, slot), seen)
-            for slot in obj.__slots__
-            if hasattr(obj, slot)
-        )
-    return size
 
 
 def router_size_at(reservations: int) -> int:

@@ -1,5 +1,20 @@
 """Simulation substrate: event loop, network assembly, traffic generation."""
 
+from repro.sim.campaign import (
+    BogusSpec,
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    FaultSpec,
+    OveruseSpec,
+    Phase,
+    PhaseReport,
+    RenewalStormSpec,
+    WorkloadSpec,
+    campaign_slos,
+    run_campaign,
+)
+from repro.sim.campaigns import CANONICAL
 from repro.sim.events import Event, EventLoop
 from repro.sim.netsim import AtHop, LinkSim, PortSim
 from repro.sim.pipeline import HopPort, LatencyReport, PathPipeline
@@ -31,4 +46,17 @@ __all__ = [
     "WorkloadStats",
     "PacketTracer",
     "TraceEvent",
+    "CampaignSpec",
+    "CampaignRunner",
+    "CampaignResult",
+    "Phase",
+    "PhaseReport",
+    "WorkloadSpec",
+    "OveruseSpec",
+    "BogusSpec",
+    "RenewalStormSpec",
+    "FaultSpec",
+    "campaign_slos",
+    "run_campaign",
+    "CANONICAL",
 ]

@@ -68,16 +68,26 @@ class EventLoop:
 
     def run_until(self, when: float) -> int:
         """Fire all events up to and including time ``when``; the clock
-        ends exactly at ``when``.  Returns the number fired."""
+        ends at ``when`` (or later, see below).  Returns the number fired.
+
+        A callback may itself consume simulated time — the retry layer
+        advances the shared clock during backoff, for example.  Events
+        whose scheduled time has already passed by then fire *late*, at
+        the current clock, rather than rewinding time: the clock stays
+        monotone and every consumer's "time never goes backwards"
+        invariant holds even under fault-heavy schedules.
+        """
         fired_before = self.fired
         while self._heap and self._heap[0].time <= when:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self.clock.set(event.time)
+            if event.time > self.clock.now():
+                self.clock.set(event.time)
             event.callback()
             self.fired += 1
-        self.clock.set(when)
+        if when > self.clock.now():
+            self.clock.set(when)
         return self.fired - fired_before
 
     def pending(self) -> int:

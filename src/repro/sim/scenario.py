@@ -27,8 +27,10 @@ from repro.control.rpc import FaultInjector, MessageBus
 from repro.crypto.drkey import DrkeyDeriver
 from repro.crypto.keyserver import KeyServer, KeyServerDirectory
 from repro.crypto.prf import prf
+from repro.dataplane.duplicate import DuplicateSuppressor
 from repro.dataplane.gateway import ColibriGateway
 from repro.dataplane.hvf import ColibriKeys
+from repro.dataplane.ofd import OveruseFlowDetector
 from repro.dataplane.router import BorderRouter, RouterResult, Verdict
 from repro.errors import ColibriError
 from repro.obs import ObsContext
@@ -83,7 +85,16 @@ class ColibriNetwork:
         master_seed: bytes = DEFAULT_MASTER_SEED,
         host_acceptor: Optional[Callable] = None,
         faults: Optional[FaultInjector] = None,
+        compact_dataplane: bool = False,
     ):
+        """``compact_dataplane=True`` shrinks each border router's
+        fixed-size policing structures (OFD sketch, duplicate-suppression
+        Bloom filter) from the per-router §4.8 production geometry
+        (~400 KB) to a few KB.  Detection probabilities degrade
+        gracefully — sketches just saturate earlier — which is the right
+        trade for thousand-AS campaign fabrics where the default would
+        cost ~1 GB of heap before the first packet moves.
+        """
         self.topology = topology
         self.clock = clock or SimClock(start=1000.0)
         self.bus = MessageBus(faults=faults)
@@ -125,6 +136,16 @@ class ColibriNetwork:
                 isd_as,
                 keys,
                 as_clock,
+                duplicates=(
+                    DuplicateSuppressor(as_clock, bits=1 << 14, hashes=4)
+                    if compact_dataplane
+                    else None
+                ),
+                ofd=(
+                    OveruseFlowDetector(width=256, depth=2)
+                    if compact_dataplane
+                    else None
+                ),
                 on_offense=cserv.report_offense,
             )
             self._stacks[isd_as] = AsStack(

@@ -42,8 +42,11 @@ class WorkloadStats:
         return self.packets_delivered / self.packets_sent if self.packets_sent else 0.0
 
 
-@dataclass
+@dataclass(eq=False)
 class _Session:
+    # Identity-hashed (eq=False): the session table must add/remove in
+    # O(1) even with 10^5 concurrent sessions, and value-equality over a
+    # mutable handle would be meaningless anyway.
     handle: object
     src: IsdAs
     ends_at: float
@@ -87,8 +90,11 @@ class EerWorkload:
         self.max_bandwidth = max_bandwidth
         self.rng = random.Random(seed)
         self.stats = WorkloadStats()
-        self._sessions: list = []
+        # Insertion-ordered identity set: O(1) add/discard, deterministic
+        # iteration for retire_all().
+        self._sessions: dict = {}
         self._next_host = 1
+        self._stopped = False
 
     # -- distributions -------------------------------------------------------------
 
@@ -106,9 +112,31 @@ class EerWorkload:
 
     def start(self) -> None:
         """Arm the first arrival; the process self-perpetuates."""
+        self._stopped = False
         self.loop.after(self._interarrival(), self._arrive)
 
+    def stop(self) -> None:
+        """Stop the arrival process; already-scheduled arrivals no-op.
+
+        Live sessions keep renewing until their holding time ends — call
+        :meth:`retire_all` as well for a hard phase cutoff.
+        """
+        self._stopped = True
+
+    def retire_all(self) -> None:
+        """End every live session at its next maintenance tick.
+
+        Sessions stop renewing, so their EERs expire within one
+        ``EER_LIFETIME`` and housekeeping reclaims the state — the
+        teardown half of a flash-crowd phase.
+        """
+        now = self.network.clock.now()
+        for session in self._sessions:
+            session.ends_at = min(session.ends_at, now)
+
     def _arrive(self) -> None:
+        if self._stopped:
+            return
         self.stats.arrivals += 1
         host = HostAddr(self._next_host % (1 << 32))
         self._next_host += 1
@@ -122,7 +150,7 @@ class EerWorkload:
                 src=self.source,
                 ends_at=self.network.clock.now() + self._holding(),
             )
-            self._sessions.append(session)
+            self._sessions[session] = None
             self.loop.after(EER_LIFETIME * 0.75, lambda: self._maintain(session))
         except ColibriError:
             self.stats.rejected += 1
@@ -133,7 +161,7 @@ class EerWorkload:
         now = self.network.clock.now()
         if now >= session.ends_at:
             self.stats.completed += 1
-            self._sessions.remove(session)
+            self._sessions.pop(session, None)
             return
         # Send a probe over the live reservation.
         try:
@@ -151,7 +179,7 @@ class EerWorkload:
         except ColibriError:
             self.stats.renewal_failures += 1
             self.stats.completed += 1
-            self._sessions.remove(session)
+            self._sessions.pop(session, None)
 
     @property
     def active_sessions(self) -> int:

@@ -9,6 +9,8 @@ are identified by per-AS interface IDs.
 from repro.topology.addresses import HostAddr, IsdAs
 from repro.topology.beaconing import Beaconing
 from repro.topology.generator import (
+    add_multihoming,
+    build_caida_like,
     build_core_mesh,
     build_internet_like,
     build_line_topology,
@@ -51,6 +53,8 @@ __all__ = [
     "build_core_mesh",
     "build_internet_like",
     "build_power_law",
+    "build_caida_like",
+    "add_multihoming",
     "most_disjoint",
     "disjointness",
     "path_capacity",

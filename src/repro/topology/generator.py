@@ -11,12 +11,21 @@ the spectrum:
 * :func:`build_two_isd_topology` — the canonical integration fixture: two
   ISDs, trees of non-core ASes, matching Fig. 1's S - X - Y - Z shape;
 * :func:`build_internet_like` — a parameterized hierarchy (many ISDs,
-  several cores each, branching customer trees) for scalability tests.
+  several cores each, branching customer trees) for scalability tests;
+* :func:`build_caida_like` — thousands of ASes shaped like the measured
+  AS graph: heavy-tailed customer cones under a peered tier-1 core,
+  with multihomed leaves, for the Internet-scale scenario campaigns.
+
+:func:`add_multihoming` retrofits secondary provider uplinks onto any
+generated hierarchy; every generator that takes a ``multihome_fraction``
+knob routes through it.
 """
 
 from __future__ import annotations
 
 import random
+from collections import deque
+from typing import Optional
 
 from repro.errors import TopologyError
 from repro.topology.addresses import IsdAs
@@ -25,10 +34,125 @@ from repro.util.units import gbps
 
 DEFAULT_CAPACITY = gbps(40.0)
 
+#: Capacity halving stops at this tier: real access networks bottom out
+#: at a floor, and an unbounded decay would starve deep leaves of any
+#: reservable bandwidth.
+MAX_CAPACITY_TIER = 4
+
 
 def _as_id(isd: int, index: int) -> IsdAs:
     """Deterministic AS numbering: readable and unique per generator call."""
     return IsdAs(isd=isd, asn=0xFF00_0000_0000 + index)
+
+
+def _tier_capacity(capacity: float, depth: int, decay: float) -> float:
+    """Link capacity for a customer at ``depth`` hops below the core."""
+    return capacity * decay ** min(depth, MAX_CAPACITY_TIER)
+
+
+def _core_depths(topology: Topology) -> dict:
+    """Provider-tree depth of every AS: hops below the nearest core.
+
+    BFS over PARENT_CHILD links from all cores at once; with multihoming
+    an AS's depth is the *shortest* provider chain, which is what the
+    capacity-monotonicity argument needs.
+    """
+    depths = {}
+    queue = deque()
+    for node in topology.ases():
+        if node.is_core:
+            depths[node.isd_as] = 0
+            queue.append(node.isd_as)
+    while queue:
+        current = queue.popleft()
+        for child in topology.children(current):
+            if child not in depths:
+                depths[child] = depths[current] + 1
+                queue.append(child)
+    return depths
+
+
+def add_multihoming(
+    topology: Topology,
+    fraction: float,
+    seed: int = 17,
+    rng: Optional[random.Random] = None,
+) -> int:
+    """Give a fraction of single-homed ASes a secondary provider uplink.
+
+    Real stub ASes are frequently multihomed; a pure provider tree
+    understates path diversity and makes every leaf a single point of
+    failure for the partition campaigns.  For each non-core AS with
+    exactly one provider, with probability ``fraction`` add a second
+    PARENT_CHILD uplink to a same-ISD AS strictly closer to the core.
+    Choosing a strictly shallower provider keeps the provider DAG
+    acyclic (beaconing's downward walk terminates) and keeps per-tier
+    capacities non-increasing toward the leaves.
+
+    The secondary uplink copies the primary uplink's capacity.  Returns
+    the number of uplinks added.  Deterministic per seed; pass ``rng``
+    to splice into an outer generator's random stream.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"multihome fraction must be in [0, 1], got {fraction}")
+    chooser = rng if rng is not None else random.Random(seed)
+    depths = _core_depths(topology)
+    by_isd: dict = {}
+    for node in topology.ases():
+        by_isd.setdefault(node.isd_as.isd, []).append(node.isd_as)
+    added = 0
+    for node in list(topology.ases()):
+        if node.is_core:
+            continue
+        isd_as = node.isd_as
+        parents = topology.parents(isd_as)
+        if len(parents) != 1:
+            continue
+        if chooser.random() >= fraction:
+            continue
+        depth = depths.get(isd_as)
+        if depth is None:
+            continue
+        candidates = [
+            other
+            for other in by_isd[isd_as.isd]
+            if other != parents[0] and depths.get(other, depth) < depth
+        ]
+        if not candidates:
+            continue
+        provider = chooser.choice(candidates)
+        primary = topology.link_between(isd_as, parents[0])
+        topology.add_link(provider, isd_as, LinkType.PARENT_CHILD, primary.capacity)
+        added += 1
+    return added
+
+
+def _add_core_chords(
+    topology: Topology,
+    rng: random.Random,
+    cores,
+    count: int,
+    capacity: float,
+) -> int:
+    """Add up to ``count`` random CORE chords between cores of *different*
+    ISDs (intra-ISD cores are already meshed).  Attempts are bounded so a
+    near-complete core graph can't loop forever."""
+    if count <= 0 or len(cores) < 2:
+        return 0
+    added = 0
+    for _ in range(count * 20):
+        if added >= count:
+            break
+        a, b = rng.sample(cores, 2)
+        if a.isd == b.isd:
+            continue
+        try:
+            topology.link_between(a, b)
+        except TopologyError:
+            # Not linked yet — add the chord.
+            topology.add_link(a, b, LinkType.CORE, capacity)
+            added += 1
+    return added
 
 
 def build_line_topology(
@@ -116,6 +240,7 @@ def build_power_law(
     cores_per_isd: int = 3,
     capacity: float = DEFAULT_CAPACITY,
     seed: int = 13,
+    multihome_fraction: float = 0.0,
 ) -> Topology:
     """A power-law-ish AS hierarchy via preferential attachment.
 
@@ -124,7 +249,9 @@ def build_power_law(
     existing AS chosen with probability proportional to its current
     customer count (+1) — the classic Barabási-Albert process projected
     onto a provider tree, so SCION's segment structure stays intact.
-    Cores are fully meshed inside an ISD and ring-connected across ISDs.
+    Cores are fully meshed inside an ISD; across ISDs a ring plus random
+    chords (as in :func:`build_internet_like`) gives multiple
+    core-segments per pair instead of a single ring path.
 
     Used by the scalability tests: hundreds of ASes with realistic
     degree skew, still fast to beacon.
@@ -172,6 +299,10 @@ def build_power_law(
             except TopologyError:
                 # Not linked yet — add the inter-ISD core link.
                 topology.add_link(a, b, LinkType.CORE, capacity)
+    flattened = [core for cores in all_cores for core in cores]
+    _add_core_chords(topology, rng, flattened, max(0, isd_count - 2), capacity)
+    if multihome_fraction:
+        add_multihoming(topology, multihome_fraction, rng=rng)
     return topology
 
 
@@ -236,4 +367,130 @@ def build_internet_like(
         except TopologyError:
             # The sampled core pair is not linked yet — add the chord.
             topology.add_link(a, b, LinkType.CORE, capacity)
+    return topology
+
+
+def build_caida_like(
+    as_count: int = 2000,
+    isd_count: int = 8,
+    tier1_per_isd: int = 3,
+    alpha: float = 2.1,
+    max_children: int = 256,
+    peering_degree: float = 1.0,
+    multihome_fraction: float = 0.15,
+    capacity: float = DEFAULT_CAPACITY,
+    tier_capacity_decay: float = 0.5,
+    seed: int = 29,
+) -> Topology:
+    """A CAIDA-like AS graph: heavy-tailed customer cones under a peered
+    tier-1 core, with multihomed leaves.
+
+    Three structural properties of the measured AS graph matter for the
+    Internet-scale campaigns and :func:`build_power_law` only delivers
+    the first:
+
+    * **heavy-tailed customer cones** — provider attractiveness is drawn
+      from a Pareto(``alpha``) distribution (clamped at ``max_children``),
+      so a handful of tier-1/tier-2 providers accumulate cones of
+      hundreds of customers while most ASes are stubs.  Attachment
+      probability is proportional to drawn attractiveness × (customers
+      so far + 1), i.e. preferential attachment with intrinsic fitness;
+    * **a peered core** — ``tier1_per_isd`` cores per ISD are meshed
+      intra-ISD, ring-connected across ISDs, and then
+      ``peering_degree × isd_count`` random inter-ISD peering chords are
+      added, so core-segment diversity scales with the core instead of
+      collapsing onto one ring;
+    * **multihomed edges** — ``multihome_fraction`` of single-homed ASes
+      gain a secondary provider uplink via :func:`add_multihoming`.
+
+    Link capacities decay by ``tier_capacity_decay`` per provider tier
+    (floored at tier :data:`MAX_CAPACITY_TIER`), so core links are fat
+    and access links thin — a child's uplink never exceeds its
+    provider's own uplink, which is the capacity-conservation property
+    the generators guarantee.  Deterministic per seed at any
+    ``as_count``; thousands of ASes build in well under a second.
+    """
+    if isd_count < 1 or tier1_per_isd < 1:
+        raise ValueError("need at least one ISD and one tier-1 AS per ISD")
+    if as_count < isd_count * tier1_per_isd:
+        raise ValueError(
+            f"need at least {isd_count * tier1_per_isd} ASes for "
+            f"{isd_count} ISDs x {tier1_per_isd} tier-1 cores"
+        )
+    if alpha <= 1.0:
+        raise ValueError(f"Pareto exponent must exceed 1, got {alpha}")
+    if not 0.0 < tier_capacity_decay <= 1.0:
+        raise ValueError(f"tier capacity decay must be in (0, 1], got {tier_capacity_decay}")
+    rng = random.Random(seed)
+    topology = Topology()
+    all_cores = []
+
+    for isd in range(1, isd_count + 1):
+        cores = []
+        for core_index in range(tier1_per_isd):
+            core = _as_id(isd, core_index + 1)
+            topology.add_as(core, is_core=True)
+            cores.append(core)
+        for i, a in enumerate(cores):
+            for b in cores[i + 1 :]:
+                topology.add_link(a, b, LinkType.CORE, capacity)
+        all_cores.append(cores)
+
+    # Inter-ISD ring for baseline reachability, then peering chords.
+    if isd_count > 1:
+        for index in range(isd_count):
+            a = all_cores[index][0]
+            b = all_cores[(index + 1) % isd_count][0]
+            try:
+                topology.link_between(a, b)
+            except TopologyError:
+                topology.add_link(a, b, LinkType.CORE, capacity)
+        flattened = [core for cores in all_cores for core in cores]
+        _add_core_chords(
+            topology, rng, flattened, int(peering_degree * isd_count), capacity
+        )
+
+    # Customer cones: fitness-weighted preferential attachment per ISD.
+    remaining = as_count - isd_count * tier1_per_isd
+    base, leftover = divmod(remaining, isd_count)
+    for isd_index, cores in enumerate(all_cores):
+        isd = isd_index + 1
+        cone_size = base + (1 if isd_index < leftover else 0)
+        members = list(cores)
+        depth = {isd_as: 0 for isd_as in members}
+        attractiveness = {
+            isd_as: min(
+                float(max_children), (1.0 - rng.random()) ** (-1.0 / (alpha - 1.0))
+            )
+            for isd_as in members
+        }
+        customers = [0 for _ in members]
+        fitness = [attractiveness[m] for m in members]
+        weights = list(fitness)
+        for index in range(cone_size):
+            child = _as_id(isd, 1000 + index)
+            topology.add_as(child, is_core=False)
+            provider_index = rng.choices(range(len(members)), weights=weights, k=1)[0]
+            provider = members[provider_index]
+            child_depth = depth[provider] + 1
+            topology.add_link(
+                provider,
+                child,
+                LinkType.PARENT_CHILD,
+                _tier_capacity(capacity, child_depth, tier_capacity_decay),
+            )
+            customers[provider_index] += 1
+            weights[provider_index] = fitness[provider_index] * (
+                customers[provider_index] + 1
+            )
+            depth[child] = child_depth
+            members.append(child)
+            customers.append(0)
+            fitness.append(
+                min(float(max_children), (1.0 - rng.random()) ** (-1.0 / (alpha - 1.0)))
+            )
+            weights.append(fitness[-1])
+
+    if multihome_fraction:
+        add_multihoming(topology, multihome_fraction, rng=rng)
     return topology

@@ -162,6 +162,9 @@ class AccountingMachine(RuleBasedStateMachine):
         commit — or a mid-transaction failure, which must leave the
         allocations untouched."""
         eer_id = data.draw(st.sampled_from(sorted(self.eers)))
+        self._renew(eer_id, new_bandwidth, fail)
+
+    def _renew(self, eer_id, new_bandwidth, fail):
         reservation = self.store.get_eer(eer_id)
         try:
             decision = self.admission.renew_delta(
@@ -207,6 +210,9 @@ class AccountingMachine(RuleBasedStateMachine):
         """Whole-EER abort (§3.3): exact cleanup of record, allocations,
         and the EER's registered transfer demand."""
         eer_id = data.draw(st.sampled_from(sorted(self.eers)))
+        self._abort(eer_id)
+
+    def _abort(self, eer_id):
         self.admission.distributor.release_key(eer_id)
         with self.store.transaction():
             for sid in self.segment_ids:
@@ -291,3 +297,42 @@ AccountingMachine.TestCase.settings = settings(
     max_examples=40, stateful_step_count=50, deadline=None
 )
 TestAccountingStateMachine = AccountingMachine.TestCase
+
+
+def test_campaign_churn_drains_to_zero():
+    """Campaign-churn mode: the accounting machine driven with the same
+    shape as the flash-crowd campaign — a baseline wave, a surge wave
+    with renewals, mid-transaction failures and aborts mixed in, then a
+    full teardown.  After the final sweep, *every* ledger must read
+    exactly zero: no residual EERs, no residual segment allocations, no
+    residual transfer demand."""
+    import random
+
+    machine = AccountingMachine()
+    rng = random.Random(7)
+    for arrivals in (30, 200):  # baseline, then the surge
+        for _ in range(arrivals):
+            machine.admit(rng.uniform(1e6, 5e8), fail=rng.random() < 0.1)
+            if machine.eers and rng.random() < 0.3:
+                machine._renew(
+                    rng.choice(sorted(machine.eers)),
+                    rng.uniform(1e6, 5e8),
+                    fail=rng.random() < 0.2,
+                )
+            if machine.eers and rng.random() < 0.1:
+                machine._abort(rng.choice(sorted(machine.eers)))
+            machine.sweep(rng.uniform(0.0, 0.5))
+        machine.population_matches()
+        machine.allocation_sums_match()
+        machine.demand_matches()
+    # Teardown: advance past every possible expiry and sweep.
+    machine.sweep(EER_LIFETIME + 1.0)
+    machine.sweep(EER_LIFETIME + 1.0)
+    assert machine.store.eer_count() == 0
+    for sid in machine.segment_ids:
+        assert machine.store.allocated_on_segment(sid) == pytest.approx(0.0)
+    assert machine.admission.distributor.total_demand(
+        machine.core.reservation_id
+    ) == pytest.approx(0.0, abs=1e-6)
+    assert machine.registered == {}
+    machine.no_journal_left_behind()
