@@ -39,7 +39,9 @@ from repro.dataplane.hvf import (
     sigma_states,
     verify_hvfs_batch,
 )
+from repro.obs import ObsContext
 from repro.obs.profile import profiling
+from repro.obs.sampling import SamplingProfiler
 from repro.packets.colibri import ColibriPacket
 from repro.packets.fields import EerInfo, PathField, ResInfo
 from repro.packets.wire import PacketArena
@@ -257,9 +259,22 @@ def test_fig5_series(benchmark):
             )
             tags.append(packet.hvfs[0])
         assert all(verify_hvfs_batch(states, messages, tags))
+    # A sampled pass over the same wire bursts attaches the wire-path
+    # sampling profile (docs/observability.md §9): one burst in
+    # DEFAULT_SAMPLE_EVERY runs the instrumented twin, so the per-stage
+    # wire breakdown rides along without perturbing what it measures.
+    # Like ``profile``, the snapshot stays outside the run id.
+    obs = ObsContext.create(gateway.clock, seed=7)
+    obs.sampler = SamplingProfiler()
+    gateway.obs = obs
+    for requests in batches:
+        gateway.send_batch_wire(requests, arena)
+        gateway.clock.advance(1e-6)
+    gateway.obs = None
     report_json(
         "fig5", "fig5_gateway_forwarding", json_rows,
         profile=profiler.snapshot(),
+        sampling=obs.sampler.snapshot(),
     )
 
     # Shape: longer paths are never meaningfully *faster*.  With the

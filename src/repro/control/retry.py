@@ -45,6 +45,7 @@ from repro.constants import (
     RETRY_MULTIPLIER,
 )
 from repro.errors import CircuitOpen, RetriesExhausted, TransportError
+from repro.obs.distributed import TraceContext
 from repro.obs.events import BREAKER_TRANSITION
 from repro.topology.addresses import IsdAs
 from repro.util.clock import Clock
@@ -274,9 +275,13 @@ class RetryingCaller:
             return self._call(isd_as, method, args, kwargs)
         tracer = obs.tracer
         span = tracer.start("retry.call", {"method": method, "dest": str(isd_as)})
+        # One context per *logical* call, derived from the retry.call
+        # span: every attempt frames the same parent, so a retried
+        # fan-out stitches into one tree instead of one per attempt.
+        trace = TraceContext.from_span(span) if span is not None else None
         attempts_before = self.stats.attempts
         try:
-            result = self._call(isd_as, method, args, kwargs)
+            result = self._call(isd_as, method, args, kwargs, trace=trace)
         except BaseException as error:
             attempts = self.stats.attempts - attempts_before
             obs.metrics.histogram("retry_attempts").observe(attempts)
@@ -292,7 +297,14 @@ class RetryingCaller:
         tracer.finish(span, attempts=attempts)
         return result
 
-    def _call(self, isd_as: IsdAs, method: str, args: tuple, kwargs: dict):
+    def _call(
+        self,
+        isd_as: IsdAs,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        trace: Optional[TraceContext] = None,
+    ):
         policy = self.policies.for_method(method)
         breaker = self.breaker(isd_as)
         self.stats.calls += 1
@@ -313,6 +325,7 @@ class RetryingCaller:
                     *args,
                     caller=self.source,
                     timeout=policy.timeout,
+                    trace=trace,
                     **kwargs,
                 )
             except (RetriesExhausted, CircuitOpen):

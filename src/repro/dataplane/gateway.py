@@ -207,6 +207,16 @@ class GatewayReservation:
 class ColibriGateway:
     """The source AS's gateway: monitor, stamp, and forward EER packets."""
 
+    #: Optional :class:`repro.obs.ObsContext`.  Class-level ``None`` so
+    #: the disabled wire path pays one attribute read and no per-instance
+    #: slot; when set *and* carrying a ``sampler``, every Nth
+    #: :meth:`send_batch_wire` burst runs with per-stage wall timings
+    #: (plan vs native stamp) recorded into fixed-bucket histograms —
+    #: the other N-1 bursts take the untouched fast path
+    #: (docs/performance.md §6 still holds, enforced by
+    #: ``tools/obs_overhead.py``).
+    obs = None
+
     def __init__(self, isd_as: IsdAs, clock: Clock, monitor: DeterministicMonitor = None):
         self.isd_as = isd_as
         self.clock = clock
@@ -728,12 +738,24 @@ class ColibriGateway:
         """
         if type(requests) is not list:
             requests = list(requests)
+        obs = self.obs
+        if obs is not None:
+            sampler = obs.sampler
+            if sampler is not None and sampler.tick():
+                arena.reset()
+                return self._send_burst_wire(
+                    requests, arena, self.clock.now(), sampler
+                )
         arena.reset()
         outcomes = self._send_burst_wire(requests, arena, self.clock.now())
         return outcomes
 
     @profiled("gateway.send_batch_wire")
-    def _send_burst_wire(self, requests, arena: PacketArena, now: float) -> list:
+    def _send_burst_wire(
+        self, requests, arena: PacketArena, now: float, sampler=None
+    ) -> list:
+        if sampler is not None:
+            begin = sampler.clock.now()
         stamper = self._burst
         if stamper is None:
             stamper = self._burst = burst_stamper(slots=len(requests))
@@ -872,10 +894,26 @@ class ColibriGateway:
             monitor.packets_passed += passed
             self.packets_sent += sent
             self.packets_dropped += dropped
+        if sampler is not None:
+            planned_at = sampler.clock.now()
         if planned:
             # One C call stamps every planned packet of the burst
             # straight into its arena slot.
             stamper.stamp_into(planned, _HVF_MESSAGE.size, stamper.pointer(buffer))
+        if sampler is not None:
+            # Stage split of a sampled burst: the fused per-packet loop
+            # ("plan" — lookup, policing, template copy, HVF planning or
+            # Python-backend stamping) vs the single native scatter-stamp
+            # call ("stamp", zero when nothing was planned).
+            finished = sampler.clock.now()
+            sampler.observe_burst(
+                len(requests),
+                (
+                    ("gateway.wire.plan", planned_at - begin),
+                    ("gateway.wire.stamp", finished - planned_at),
+                    ("gateway.wire.burst", finished - begin),
+                ),
+            )
         return outcomes
 
     # -- stage-factored variant (profiling instrumentation) -----------------------

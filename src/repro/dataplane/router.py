@@ -363,8 +363,48 @@ class BorderRouter:
         equivalents.
         """
         now = self.clock.now()
+        obs = self.obs
+        if obs is not None:
+            sampler = obs.sampler
+            if sampler is not None and sampler.tick():
+                return self._validate_wire_sampled(views, now, sampler)
         validate_one = self._validate_wire_one
         return [validate_one(view, now) for view in views]
+
+    def _validate_wire_sampled(self, views, now: float, sampler) -> List[bool]:
+        """Sampled variant of :meth:`validate_wire_batch`: identical
+        verdicts through the identical per-packet path, plus per-packet
+        and whole-burst wall timings in the sampler's fixed-bucket
+        histograms and the burst's σ-cache hit/miss deltas as sampled
+        counts — the hit/recompute split *is* the router's stage
+        breakdown (the slow path dominates exactly when hints miss)."""
+        clock = sampler.clock
+        cache = self.sigma_cache
+        hits_before = misses_before = 0
+        if cache is not None:
+            hits_before = cache.counters.get("hits")
+            misses_before = cache.counters.get("misses")
+        validate_one = self._validate_wire_one
+        verdicts: List[bool] = []
+        append = verdicts.append
+        begin = clock.now()
+        for view in views:
+            started = clock.now()
+            verdict = validate_one(view, now)
+            sampler.observe("router.wire.validate", clock.now() - started)
+            append(verdict)
+        sampler.observe_burst(
+            len(views), (("router.wire.burst", clock.now() - begin),)
+        )
+        if cache is not None:
+            sampler.count(
+                "sigma_cache_hits", cache.counters.get("hits") - hits_before
+            )
+            sampler.count(
+                "sigma_cache_misses",
+                cache.counters.get("misses") - misses_before,
+            )
+        return verdicts
 
     def _validate_wire_one(self, view, now: float) -> bool:
         buffer = view.buffer

@@ -43,7 +43,7 @@ import hashlib
 import multiprocessing
 import os
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from repro.constants import EER_LIFETIME
@@ -52,6 +52,15 @@ from repro.dataplane.gateway import ColibriGateway
 from repro.dataplane.hvf import ColibriKeys, eer_hvf, hop_authenticator
 from repro.dataplane.router import BorderRouter
 from repro.errors import SimulationError
+from repro.obs.distributed import (
+    MergedTelemetry,
+    TraceContext,
+    frames_from,
+    merge_frames,
+)
+from repro.obs.events import SHARD_COMPLETED, EventJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceCollector
 from repro.packets.colibri import ColibriPacket, PacketType
 from repro.packets.fields import EerInfo, PathField, ResInfo, Timestamp
 from repro.reservation.ids import ReservationId
@@ -95,6 +104,14 @@ class ShardSpec:
     packets: int = 16384
     batch: int = 64
     seed: int = 2026
+    #: Arms a per-worker obs shard (tracer/registry/journal, seeded
+    #: ``obs_seed + shard_index``) whose capture streams back to the
+    #: parent as telemetry frames; ``None`` keeps the worker obs-free
+    #: and the result queue carrying nothing but the outcome tuple.
+    obs_seed: Optional[int] = None
+    #: Propagated caller context: the worker's root span grafts onto
+    #: this trace, and its sampling decision gates span collection.
+    trace: Optional[TraceContext] = None
 
 
 @dataclass
@@ -111,6 +128,11 @@ class ShardOutcome:
     #: existed the per-process counters died with the worker, so a
     #: sharded run reported throughput with a blank forensic record.
     counters: dict = field(default_factory=dict)
+    #: Sequence-numbered telemetry frames from the shard's obs capture
+    #: (spans, journal events, registry state), empty unless the spec
+    #: carried an ``obs_seed``.  Frames travel the result queue as their
+    #: own messages; the parent reattaches them here.
+    frames: list = field(default_factory=list)
 
 
 @dataclass
@@ -147,6 +169,25 @@ class ShardRunResult:
         )
         return snapshot
 
+    def merged_telemetry(
+        self, expected_workers: Optional[List[int]] = None
+    ) -> Optional[MergedTelemetry]:
+        """Reassemble the workers' streamed obs shards into one
+        :class:`~repro.obs.distributed.MergedTelemetry` (spans per
+        worker, merged registry, identity-ordered events).
+
+        Returns ``None`` when no shard carried frames (obs was off).
+        Pass ``expected_workers`` to turn a silently absent stream into
+        a :class:`~repro.obs.distributed.TelemetryGapError` — the check
+        the campaign harness's worker-stream checker runs.
+        """
+        frames = [
+            frame for outcome in self.shards for frame in outcome.frames
+        ]
+        if not frames and expected_workers is None:
+            return None
+        return merge_frames(frames, expected_workers=expected_workers)
+
 
 def _owned_ids(spec: ShardSpec) -> list:
     """This shard's slice of the global reservation ID space."""
@@ -162,9 +203,11 @@ def _gateway_workload(spec: ShardSpec):
     """A private gateway with this shard's reservations installed, plus
     the pregenerated request batches for the timed loop.
 
-    Returns ``(loop, snapshot)``: the timed packet loop and a zero-arg
-    callable reading the stack's counters, taken *in the worker* so the
-    numbers survive the process boundary."""
+    Returns ``(loop, snapshot, clock)``: the timed packet loop, a
+    zero-arg callable reading the stack's counters (taken *in the
+    worker* so the numbers survive the process boundary), and the
+    stack's deterministic clock — the timestamp source for the shard's
+    optional obs capture."""
     clock = SimClock(1000.0)
     gateway = ColibriGateway(_SRC, clock)
     rng = random.Random(spec.seed + spec.shard_index)
@@ -185,7 +228,7 @@ def _gateway_workload(spec: ShardSpec):
     if not ids:
         # A shard can own nothing (fewer reservations than shards, e.g.
         # Fig. 6's r=1 column): it simply idles.
-        return (lambda: 0), snapshot
+        return (lambda: 0), snapshot, clock
     for res_id in ids:
         res_info = ResInfo(
             reservation=res_id, bandwidth=gbps(1000), expiry=expiry, version=1
@@ -213,14 +256,14 @@ def _gateway_workload(spec: ShardSpec):
             done += len(requests)
         return done
 
-    return loop, snapshot
+    return loop, snapshot, clock
 
 
 def _router_workload(spec: ShardSpec):
     """A private border router plus honestly stamped packets for this
     shard's reservations, batched for the timed validation loop.
 
-    Returns ``(loop, snapshot)`` like :func:`_gateway_workload`; the
+    Returns ``(loop, snapshot, clock)`` like :func:`_gateway_workload`; the
     router's counters are its σ-cache statistics (the validation loop
     bypasses the verdict pipeline, so cache behaviour *is* its telemetry)."""
     clock = SimClock(1000.0)
@@ -238,7 +281,7 @@ def _router_workload(spec: ShardSpec):
 
     owned = _owned_ids(spec)
     if not owned:
-        return (lambda: 0), snapshot
+        return (lambda: 0), snapshot, clock
     packets = []
     for res_id in owned:
         res_info = ResInfo(
@@ -279,12 +322,13 @@ def _router_workload(spec: ShardSpec):
             done += len(verdicts)
         return done
 
-    return loop, snapshot
+    return loop, snapshot, clock
 
 
 def _workload(spec: ShardSpec):
-    """``(loop, snapshot)`` for one spec — the component dispatch shared
-    by the one-shot :func:`run_shard` and the persistent pool workers."""
+    """``(loop, snapshot, clock)`` for one spec — the component dispatch
+    shared by the one-shot :func:`run_shard` and the persistent pool
+    workers."""
     if spec.component == "gateway":
         return _gateway_workload(spec)
     if spec.component == "router":
@@ -307,6 +351,66 @@ def _timed_pass(spec: ShardSpec, loop, snapshot) -> ShardOutcome:
     )
 
 
+#: Packets per timed loop; Fig. 6 sweeps run 2**11..2**14 per shard.
+_SHARD_LOOP_BUCKETS = (256.0, 1024.0, 4096.0, 16384.0, 65536.0)
+
+
+def _observed_pass(spec: ShardSpec, loop, snapshot, clock):
+    """One measured pass plus, when the spec arms it, the worker's obs
+    shard: a fresh seeded tracer/registry/journal around the timed
+    loop, packaged into telemetry frames.
+
+    Returns ``(outcome, frames)``.  The capture is rebuilt per
+    submission — the deterministic ``obs_seed + shard_index`` seeding
+    and the workload's injected clock make a same-seed run's frames
+    byte-identical.  Span collection honors the propagated sampling
+    decision; metrics and journal events are always captured (they are
+    the accounting record, not a sample).
+    """
+    if spec.obs_seed is None:
+        return _timed_pass(spec, loop, snapshot), []
+    seed = spec.obs_seed + spec.shard_index
+    tracer = None
+    if spec.trace is None or spec.trace.sampled:
+        tracer = TraceCollector(clock, seed=seed)
+        if spec.trace is not None:
+            tracer.adopt(spec.trace.trace_id, spec.trace.span_id)
+    registry = MetricsRegistry()
+    journal = EventJournal(clock)
+    root = loop_span = None
+    if tracer is not None:
+        root = tracer.start(
+            "shard.run",
+            {"component": spec.component, "shard": spec.shard_index},
+        )
+        loop_span = tracer.start("shard.loop")
+    outcome = _timed_pass(spec, loop, snapshot)
+    if tracer is not None:
+        tracer.finish(loop_span, packets=outcome.packets)
+        tracer.finish(root)
+    registry.counter(
+        "shard_passes_total", help_text="Timed passes run by this worker"
+    ).inc()
+    registry.counter(
+        "shard_packets_total", help_text="Packets through timed shard loops"
+    ).inc(outcome.packets)
+    registry.histogram(
+        "shard_loop_packets",
+        buckets=_SHARD_LOOP_BUCKETS,
+        help_text="Packets completed per timed shard loop",
+    ).observe(outcome.packets)
+    journal.record(
+        SHARD_COMPLETED,
+        component=spec.component,
+        shard_index=spec.shard_index,
+        packets=outcome.packets,
+    )
+    frames = frames_from(
+        spec.shard_index, tracer=tracer, registry=registry, journal=journal
+    )
+    return outcome, frames
+
+
 def run_shard(spec: ShardSpec) -> ShardOutcome:
     """Build one shard's private stack and time its packet loop.
 
@@ -314,7 +418,7 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
     through :mod:`multiprocessing`; also callable inline for the
     single-shard and modeled paths.
     """
-    loop, snapshot = _workload(spec)
+    loop, snapshot, clock = _workload(spec)
     # One untimed warm-up pass brings soft state to steady state — the
     # router's σ-cache fills, lazily packed header fields materialize —
     # so the timed pass measures sustained throughput, the quantity the
@@ -322,7 +426,9 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
     # shard's whole life — and are read inside the worker, before the
     # process exits.
     loop()
-    return _timed_pass(spec, loop, snapshot)
+    outcome, frames = _observed_pass(spec, loop, snapshot, clock)
+    outcome.frames = frames
+    return outcome
 
 
 def _pool_worker(inbox, outbox) -> None:
@@ -333,9 +439,18 @@ def _pool_worker(inbox, outbox) -> None:
     in a worker-local cache; every submission after that reuses the
     pre-warmed stack, so repeated measurements see steady-state
     forwarding instead of fork + install + warm-up.  A ``None`` spec is
-    the shutdown sentinel.  Failures are shipped to the parent as
-    ``(shard_index, None, reason)`` and then re-raised so a broken
-    worker dies loudly instead of serving corrupt stacks.
+    the shutdown sentinel.
+
+    Messages to the parent are tagged tuples: zero or more
+    ``("frame", shard_index, TelemetryFrame)`` when the spec arms an
+    obs shard, then exactly one ``("result", shard_index, outcome,
+    reason)``.  Failures ship a ``result`` with ``reason`` set and are
+    then re-raised so a broken worker dies loudly instead of serving
+    corrupt stacks.
+
+    The workload cache is keyed on the spec *minus* its obs fields: a
+    resubmission that only changes the propagated trace context (a new
+    parent span every run) must still hit the warm stack.
     """
     workloads: dict = {}
     while True:
@@ -343,18 +458,28 @@ def _pool_worker(inbox, outbox) -> None:
         if spec is None:
             break
         try:
-            cached = workloads.get(spec)
+            key = replace(spec, obs_seed=None, trace=None)
+            cached = workloads.get(key)
             if cached is None:
                 cached = _workload(spec)
                 cached[0]()  # untimed warm-up, as in run_shard
-                workloads[spec] = cached
-            outcome = _timed_pass(spec, cached[0], cached[1])
+                workloads[key] = cached
+            outcome, frames = _observed_pass(
+                spec, cached[0], cached[1], cached[2]
+            )
         except Exception as error:
             outbox.put(
-                (spec.shard_index, None, f"{type(error).__name__}: {error}")
+                (
+                    "result",
+                    spec.shard_index,
+                    None,
+                    f"{type(error).__name__}: {error}",
+                )
             )
             raise
-        outbox.put((spec.shard_index, outcome, None))
+        for frame in frames:
+            outbox.put(("frame", spec.shard_index, frame))
+        outbox.put(("result", spec.shard_index, outcome, None))
 
 
 class ShardWorkerPool:
@@ -406,13 +531,25 @@ class ShardWorkerPool:
         for spec in specs:
             self._inboxes[spec.shard_index % self.size].put(spec)
         by_index = {}
-        for _ in specs:
-            shard_index, outcome, reason = self._outbox.get()
+        frames_by_index: dict = {}
+        pending = set(indices)
+        while pending:
+            message = self._outbox.get()
+            if message[0] == "frame":
+                _, shard_index, frame = message
+                frames_by_index.setdefault(shard_index, []).append(frame)
+                continue
+            _, shard_index, outcome, reason = message
             if reason is not None:
                 raise SimulationError(
                     f"shard {shard_index} worker failed: {reason}"
                 )
+            # Workers emit a shard's frames before its result, and the
+            # queue preserves per-worker order, so the stream is whole
+            # by the time its result lands.
+            outcome.frames = frames_by_index.pop(shard_index, [])
             by_index[shard_index] = outcome
+            pending.discard(shard_index)
         return [by_index[spec.shard_index] for spec in specs]
 
     def close(self) -> None:
@@ -441,7 +578,9 @@ class ShardExecutor:
 
     def __init__(self, component: str, path_length: int = 4,
                  reservations: int = 1024, packets: int = 16384,
-                 batch: int = 64, seed: int = 2026):
+                 batch: int = 64, seed: int = 2026,
+                 obs_seed: Optional[int] = None,
+                 trace: Optional[TraceContext] = None):
         if component not in ("gateway", "router"):
             raise ValueError(f"unknown shard component {component!r}")
         self.component = component
@@ -450,6 +589,8 @@ class ShardExecutor:
         self.packets = packets
         self.batch = batch
         self.seed = seed
+        self.obs_seed = obs_seed
+        self.trace = trace
 
     def _specs(self, num_shards: int) -> List[ShardSpec]:
         return [
@@ -462,6 +603,8 @@ class ShardExecutor:
                 packets=self.packets,
                 batch=self.batch,
                 seed=self.seed,
+                obs_seed=self.obs_seed,
+                trace=self.trace,
             )
             for index in range(num_shards)
         ]

@@ -36,6 +36,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.distributed import (
+    MergedTelemetry,
+    TelemetryFrame,
+    TelemetryGapError,
+    TraceContext,
+    assemble_frames,
+    frames_from,
+    merge_frames,
+    merge_traces,
+    render_span_forest,
+)
 from repro.obs.events import EventJournal, emit
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -53,6 +64,7 @@ from repro.obs.profile import (
     profiling,
     uninstall_profiler,
 )
+from repro.obs.sampling import SamplingProfiler
 from repro.obs.trace import Span, TraceCollector, traced
 from repro.util.clock import Clock, PerfClock
 
@@ -61,16 +73,26 @@ __all__ = [
     "EventJournal",
     "Gauge",
     "Histogram",
+    "MergedTelemetry",
     "MetricsRegistry",
     "ObsContext",
     "Profiler",
+    "SamplingProfiler",
     "Span",
+    "TelemetryFrame",
+    "TelemetryGapError",
     "TraceCollector",
+    "TraceContext",
     "active_profiler",
+    "assemble_frames",
     "emit",
+    "frames_from",
     "install_profiler",
+    "merge_frames",
+    "merge_traces",
     "profiled",
     "profiling",
+    "render_span_forest",
     "traced",
     "uninstall_profiler",
 ]
@@ -98,6 +120,11 @@ class ObsContext:
     journal: Optional[EventJournal] = None
     #: Optional burn-rate alert engine watching :attr:`metrics`.
     alerts: Optional["object"] = None
+    #: Optional wire-path sampling profiler
+    #: (:class:`~repro.obs.sampling.SamplingProfiler`); ``None`` keeps
+    #: ``send_batch_wire``/``validate_wire_batch`` on the untouched
+    #: fast path.
+    sampler: Optional[SamplingProfiler] = None
 
     @classmethod
     def create(

@@ -37,6 +37,7 @@ OFD_FLAGGED = "OfdFlagged"
 DUPLICATE_SUPPRESSED = "DuplicateSuppressed"
 BREAKER_TRANSITION = "BreakerTransition"
 STORE_SWEPT = "StoreSwept"
+SHARD_COMPLETED = "ShardCompleted"
 
 EVENT_TYPES = frozenset(
     {
@@ -49,6 +50,7 @@ EVENT_TYPES = frozenset(
         DUPLICATE_SUPPRESSED,
         BREAKER_TRANSITION,
         STORE_SWEPT,
+        SHARD_COMPLETED,
     }
 )
 

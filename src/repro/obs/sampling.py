@@ -1,0 +1,134 @@
+"""Sampling profiler for the wire fast paths (docs/observability.md).
+
+``@profiled`` (:mod:`repro.obs.profile`) times whole calls and costs
+nothing when no profiler is installed — but it is all-or-nothing: armed,
+it times *every* call, which perturbs exactly the steady-state numbers
+Fig. 5 reports.  The :class:`SamplingProfiler` takes the opposite trade:
+it is attached per-component via ``ObsContext.sampler`` and samples one
+burst in N, recording *per-stage* wall timings into fixed-bucket
+histograms.  The unsampled N-1 bursts run the untouched fast path; the
+disabled state (``obs is None`` — the usual guard discipline, enforced
+by colibri-flow CF003) costs one attribute read, preserving the
+0%-overhead contract of docs/performance.md §6 (locked in by
+``tools/obs_overhead.py`` in CI).
+
+Stage names are dotted sites (``gateway.wire.plan``); bucket bounds are
+fixed and log-spaced (:data:`STAGE_BUCKETS`) so snapshots merge and
+compare across runs without renormalization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram
+from repro.util.clock import Clock, PerfClock
+
+#: Sample one burst in this many by default — coarse enough that the
+#: timed sweeps stay representative, fine enough that a quick bench
+#: (tens of bursts) still lands several samples.
+DEFAULT_SAMPLE_EVERY = 16
+
+#: Fixed per-stage bounds in seconds, log-spaced ×4 from 1µs: wire
+#: bursts are tens-to-hundreds of microseconds on the reference host,
+#: and a fixed layout keeps exported snapshots comparable across runs.
+STAGE_BUCKETS = (
+    1e-06,
+    4e-06,
+    1.6e-05,
+    6.4e-05,
+    0.000256,
+    0.001024,
+    0.004096,
+    0.016384,
+    0.065536,
+)
+
+
+def _instrument_name(stage: str) -> str:
+    """``gateway.wire.plan`` → ``gateway_wire_plan_seconds``."""
+    return stage.replace(".", "_") + "_seconds"
+
+
+class SamplingProfiler:
+    """Every-Nth-burst, per-stage wall-time sampler.
+
+    The instrumented site calls :meth:`tick` once per burst — a counter
+    bump and a comparison — and only on a ``True`` verdict takes the
+    timed variant, reporting its stage durations through
+    :meth:`observe_burst`.  ``clock`` defaults to
+    :class:`~repro.util.clock.PerfClock`; tests inject a fake for
+    deterministic bucket assertions.
+    """
+
+    def __init__(
+        self,
+        every: int = DEFAULT_SAMPLE_EVERY,
+        clock: Optional[Clock] = None,
+    ):
+        if every <= 0:
+            raise ValueError(f"sampling period must be positive, got {every}")
+        self.every = every
+        self.clock = clock if clock is not None else PerfClock()
+        self._countdown = every
+        self.total_bursts = 0
+        self.sampled_bursts = 0
+        self._stages: Dict[str, Histogram] = {}
+        self._counts: Dict[str, int] = {}
+
+    def tick(self) -> bool:
+        """Advance the burst counter; ``True`` means *this* burst is
+        sampled (every ``self.every``-th call, starting with the
+        ``every``-th so warm-up bursts go unsampled)."""
+        self.total_bursts += 1
+        self._countdown -= 1
+        if self._countdown == 0:
+            self._countdown = self.every
+            self.sampled_bursts += 1
+            return True
+        return False
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one stage duration from a sampled burst."""
+        hist = self._stages.get(stage)
+        if hist is None:
+            hist = self._stages[stage] = Histogram(
+                _instrument_name(stage), STAGE_BUCKETS
+            )
+        hist.observe(seconds)
+
+    def observe_burst(
+        self, packets: int, stages: Sequence[Tuple[str, float]]
+    ) -> None:
+        """Record a sampled burst: its packet count plus each
+        ``(stage, seconds)`` timing."""
+        self._counts["sampled_packets"] = (
+            self._counts.get("sampled_packets", 0) + packets
+        )
+        for stage, seconds in stages:
+            self.observe(stage, seconds)
+
+    def count(self, key: str, amount: int = 1) -> None:
+        """Bump a plain sampled-path count (e.g. σ-cache hits seen in
+        sampled bursts) alongside the timing histograms."""
+        self._counts[key] = self._counts.get(key, 0) + amount
+
+    def snapshot(self) -> dict:
+        """JSON-ready export for ``BENCH_fig5.json`` and campaign
+        artifacts: fixed bucket layout, per-stage counts/sum, sampling
+        bookkeeping."""
+        return {
+            "every": self.every,
+            "total_bursts": self.total_bursts,
+            "sampled_bursts": self.sampled_bursts,
+            "counts": dict(sorted(self._counts.items())),
+            "stages": {
+                stage: {
+                    "buckets": list(hist.buckets),
+                    "counts": list(hist.counts),
+                    "sum": hist.sum,
+                    "count": hist.count,
+                }
+                for stage, hist in sorted(self._stages.items())
+            },
+        }

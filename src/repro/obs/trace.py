@@ -102,6 +102,7 @@ class TraceCollector:
         self._rng = random.Random(seed)
         self._spans: list = []  # completion-agnostic, in start order
         self._stack: list = []  # open spans, innermost last
+        self._remote_parent: Optional[tuple] = None  # adopted (trace, span)
         self.dropped_spans = 0  # collector overflow, not packet drops
 
     # -- recording ------------------------------------------------------------
@@ -109,17 +110,38 @@ class TraceCollector:
     def _new_id(self, nibbles: int) -> str:
         return f"{self._rng.getrandbits(nibbles * 4):0{nibbles}x}"
 
+    def adopt(self, trace_id: str, span_id: str) -> None:
+        """Graft this collector onto a remote trace: spans started with
+        no local parent become children of ``span_id`` under
+        ``trace_id`` instead of opening a fresh trace.  This is how a
+        shard worker (or any process handed a serialized
+        :class:`~repro.obs.distributed.TraceContext`) continues its
+        caller's trace across the process boundary."""
+        self._remote_parent = (trace_id, span_id)
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span — what a propagated context should
+        name as the remote parent — or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
     def start(self, name: str, attributes: Optional[dict] = None) -> Optional[Span]:
-        """Open a span as a child of the innermost open span (or a new
-        trace root).  Returns ``None`` when the collector is full."""
+        """Open a span as a child of the innermost open span (or of the
+        adopted remote parent, or a new trace root).  Returns ``None``
+        when the collector is full."""
         if len(self._spans) >= self.capacity:
             self.dropped_spans += 1
             return None
         parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif self._remote_parent is not None:
+            trace_id, parent_id = self._remote_parent
+        else:
+            trace_id, parent_id = self._new_id(16), None
         span = Span(
-            trace_id=parent.trace_id if parent else self._new_id(16),
+            trace_id=trace_id,
             span_id=self._new_id(8),
-            parent_id=parent.span_id if parent else None,
+            parent_id=parent_id,
             name=name,
             start=self.clock.now(),
             attributes=attributes,

@@ -489,6 +489,49 @@ class TestCF003ObsGuard(unittest.TestCase):
         """
         self.assertEqual([], hits(source, "CF003"))
 
+    def test_unguarded_sampler_chain_flagged(self):
+        # The wire-path profiler guard site: obs alone does not guard
+        # its Optional .sampler field.
+        source = """
+            class Gateway:
+                def send_batch_wire(self, requests, arena):
+                    obs = self.obs
+                    if obs is not None:
+                        if obs.sampler.tick():
+                            return self._sampled(requests, arena)
+                    return self._plain(requests, arena)
+        """
+        findings = flow(source, "CF003")
+        self.assertEqual(["CF003"], [f.rule_id for f in findings])
+        self.assertIn("sampler", findings[0].message)
+
+    def test_guarded_sampler_chain_clean(self):
+        # The idiom send_batch_wire / validate_wire_batch actually use:
+        # guard the context, alias the sampler, guard the alias.
+        source = """
+            class Gateway:
+                def send_batch_wire(self, requests, arena):
+                    obs = self.obs
+                    if obs is not None:
+                        sampler = obs.sampler
+                        if sampler is not None and sampler.tick():
+                            return self._sampled(requests, arena, sampler)
+                    return self._plain(requests, arena)
+        """
+        self.assertEqual([], hits(source, "CF003"))
+
+    def test_trace_context_emit_guard_clean(self):
+        # The RPC-framing site: a guarded ternary over the tracer is a
+        # guard, and the produced context gates the frame emit.
+        source = """
+            class Bus:
+                def call(self, method, trace=None):
+                    tracer = self.obs.tracer if self.obs is not None else None
+                    span = tracer.start("bus.call") if tracer is not None else None
+                    return self._dispatch(method, trace)
+        """
+        self.assertEqual([], hits(source, "CF003"))
+
     def test_obs_package_itself_exempt(self):
         source = "class Tracer:\n    def bind(self):\n        return self.obs.tracer\n"
         self.assertEqual([], hits({"src/repro/obs/tracer.py": source}, "CF003"))

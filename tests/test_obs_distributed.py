@@ -1,0 +1,565 @@
+"""Cross-process observability tests (ISSUE 10).
+
+Covers the two halves of :mod:`repro.obs.distributed` plus the code
+that threads them through both planes:
+
+* frame assembly under *adversarial interleavings* — property-tested
+  with seeded permutations: shuffled arrival order, byte-identical
+  replays, conflicting replays, truncated and gapped streams must
+  produce a deterministic merged result or a typed
+  :class:`TelemetryGapError`;
+* trace-context propagation over the RPC framing (``bus.call`` /
+  ``RetryingCaller``) and into forced-process shard workers, asserting
+  the exact stitched span tree and byte-identical merged artifacts
+  across same-seed runs;
+* the wire-path sampling profiler: tick cadence, bucket placement, and
+  verdict/byte equivalence of the sampled gateway/router fast paths.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.control.retry import RetryingCaller
+from repro.control.rpc import MessageBus
+from repro.crypto.drkey import DrkeyDeriver
+from repro.dataplane import ColibriKeys, hop_authenticator
+from repro.dataplane.gateway import ColibriGateway
+from repro.dataplane.router import BorderRouter
+from repro.dataplane.shards import ShardExecutor
+from repro.errors import TransportError
+from repro.obs import ObsContext
+from repro.obs.distributed import (
+    TelemetryFrame,
+    TelemetryGapError,
+    TraceContext,
+    assemble_frames,
+    frames_from,
+    merge_frames,
+    merge_traces,
+    render_span_forest,
+    sampling_decision,
+    spans_jsonl,
+)
+from repro.obs.events import SHARD_COMPLETED, EventJournal, merge_events
+from repro.obs.metrics import MetricsRegistry, merge_registries
+from repro.obs.sampling import DEFAULT_SAMPLE_EVERY, SamplingProfiler
+from repro.obs.trace import TraceCollector
+from repro.packets.colibri import ColibriPacket
+from repro.packets.fields import EerInfo, PathField, ResInfo
+from repro.packets.wire import PacketArena
+from repro.reservation.ids import ReservationId
+from repro.topology.addresses import HostAddr, IsdAs
+from repro.util.clock import SimClock
+from repro.util.units import gbps
+from repro.constants import EER_LIFETIME, L_HVF
+
+SRC = IsdAs.parse("1-ff00:0:110")
+MID = IsdAs.parse("1-ff00:0:111")
+DST = IsdAs.parse("1-ff00:0:112")
+
+PATH = PathField(((0, 1), (2, 3), (4, 0)))
+EER = EerInfo(HostAddr(1), HostAddr(2))
+
+
+# -- trace context -------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_wire_roundtrip(self):
+        ctx = TraceContext("a1b2c3", "d4e5", sampled=False)
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+        assert ctx.to_wire() == "a1b2c3-d4e5-0"
+
+    @pytest.mark.parametrize(
+        "text", ["", "onlyone", "a-b", "a-b-c-d", "a-b-2", "a-b-yes"]
+    )
+    def test_malformed_wire_rejected(self, text):
+        with pytest.raises(ValueError):
+            TraceContext.from_wire(text)
+
+    def test_from_span_names_the_span_as_parent(self):
+        tracer = TraceCollector(SimClock(0.0), seed=5)
+        span = tracer.start("root")
+        ctx = TraceContext.from_span(span)
+        assert ctx.trace_id == span.trace_id
+        assert ctx.span_id == span.span_id
+        assert ctx.sampled is True
+
+    def test_sampling_decision_is_deterministic_and_seeded(self):
+        verdicts = [
+            sampling_decision(f"trace-{i}", seed=3, one_in=4)
+            for i in range(256)
+        ]
+        assert verdicts == [
+            sampling_decision(f"trace-{i}", seed=3, one_in=4)
+            for i in range(256)
+        ]
+        # A 1-in-4 head sample keeps *some* traces and drops others.
+        assert any(verdicts) and not all(verdicts)
+        # A different seed flips some verdicts (no accidental constants).
+        assert verdicts != [
+            sampling_decision(f"trace-{i}", seed=4, one_in=4)
+            for i in range(256)
+        ]
+
+    def test_one_in_one_samples_everything(self):
+        assert all(
+            sampling_decision(f"t{i}", seed=9, one_in=1) for i in range(32)
+        )
+
+
+# -- frame assembly under adversarial interleavings ----------------------------
+
+
+def worker_stream(worker_id: int, items: int = 5, limit: int = 2):
+    """A real worker capture chunked into a multi-frame stream."""
+    clock = SimClock(1000.0)
+    tracer = TraceCollector(clock, seed=100 + worker_id)
+    registry = MetricsRegistry()
+    journal = EventJournal(clock)
+    for index in range(items):
+        with tracer.span(f"op-{index}"):
+            clock.advance(0.001)
+        journal.record(
+            SHARD_COMPLETED,
+            component="router",
+            shard_index=worker_id,
+            packets=index,
+        )
+        registry.counter("shard_packets_total").inc(index)
+    return frames_from(
+        worker_id, tracer=tracer, registry=registry, journal=journal,
+        limit=limit,
+    )
+
+
+def merged_fingerprint(merged) -> tuple:
+    """Byte-stable identity of a MergedTelemetry for equality checks."""
+    return (
+        {w: spans_jsonl(spans) for w, spans in merged.spans.items()},
+        merged.events_jsonl(),
+        json.dumps(merged.registry.state(), sort_keys=True),
+        merged.frame_counts,
+    )
+
+
+class TestFrameAssembly:
+    def test_streams_chunk_and_carry_metrics_on_final_frame(self):
+        frames = worker_stream(0, items=5, limit=2)
+        assert [frame.seq for frame in frames] == list(range(len(frames)))
+        assert len(frames) > 2  # 10 items at 2/frame
+        assert frames[-1].last and not any(f.last for f in frames[:-1])
+        assert frames[-1].metrics is not None
+        assert all(f.metrics is None for f in frames[:-1])
+
+    def test_empty_capture_still_emits_liveness_frame(self):
+        frames = frames_from(3)
+        assert len(frames) == 1
+        assert frames[0].last and frames[0].seq == 0
+        assert assemble_frames(frames, expected_workers=[3])[3] == frames
+
+    def test_shuffled_arrival_is_deterministic(self):
+        """Property: any arrival permutation of any workers' frames
+        merges to the identical result (20 seeded shuffles)."""
+        frames = [f for w in range(3) for f in worker_stream(w)]
+        baseline = merged_fingerprint(
+            merge_frames(frames, expected_workers=range(3))
+        )
+        for seed in range(20):
+            shuffled = list(frames)
+            random.Random(seed).shuffle(shuffled)
+            merged = merge_frames(shuffled, expected_workers=range(3))
+            assert merged_fingerprint(merged) == baseline, f"seed {seed}"
+
+    def test_identical_replay_is_deduped(self):
+        """A result queue may redeliver: byte-identical duplicates must
+        not change the merge (every duplication position, shuffled)."""
+        frames = [f for w in range(2) for f in worker_stream(w)]
+        baseline = merged_fingerprint(
+            merge_frames(frames, expected_workers=range(2))
+        )
+        for seed, frame in enumerate(frames):
+            replayed = frames + [frame]
+            random.Random(seed).shuffle(replayed)
+            merged = merge_frames(replayed, expected_workers=range(2))
+            assert merged_fingerprint(merged) == baseline
+
+    def test_conflicting_replay_raises(self):
+        frames = worker_stream(0)
+        forged = TelemetryFrame(
+            worker_id=0, seq=0, spans=(), events=(), last=False
+        )
+        assert forged != frames[0]
+        with pytest.raises(TelemetryGapError, match="conflicting frames"):
+            assemble_frames(frames + [forged])
+
+    def test_truncated_stream_raises(self):
+        frames = worker_stream(0)
+        with pytest.raises(TelemetryGapError, match="truncated"):
+            assemble_frames(frames[:-1])
+
+    def test_gapped_stream_raises(self):
+        frames = worker_stream(0, items=6, limit=2)
+        assert len(frames) >= 3
+        for seed in range(10):
+            gapped = frames[:1] + frames[2:]
+            random.Random(seed).shuffle(gapped)
+            with pytest.raises(TelemetryGapError, match="gapped at seq 1"):
+                assemble_frames(gapped)
+
+    def test_missing_expected_worker_raises(self):
+        frames = worker_stream(0)
+        with pytest.raises(TelemetryGapError, match="workers \\[1\\]"):
+            assemble_frames(frames, expected_workers=[0, 1])
+
+    def test_frames_beyond_final_marker_raise(self):
+        frames = worker_stream(0, items=4, limit=2)
+        early_last = TelemetryFrame(
+            worker_id=0,
+            seq=0,
+            spans=frames[0].spans,
+            events=frames[0].events,
+            last=True,
+        )
+        with pytest.raises(TelemetryGapError, match="beyond the final"):
+            assemble_frames([early_last] + frames[1:])
+
+
+class TestMergeDeterminism:
+    def test_merge_events_is_stream_order_invariant(self):
+        streams = []
+        for worker_id in range(4):
+            clock = SimClock(1000.0 + worker_id)
+            journal = EventJournal(clock)
+            for index in range(5):
+                journal.record(
+                    SHARD_COMPLETED,
+                    component="router",
+                    shard_index=worker_id,
+                    packets=index,
+                )
+                clock.advance(0.5)
+            streams.append(journal.events())
+        baseline = merge_events(*streams)
+        for seed in range(20):
+            order = list(range(len(streams)))
+            random.Random(seed).shuffle(order)
+            permuted = merge_events(*(streams[i] for i in order))
+            assert [e.identity() for e in permuted] == [
+                e.identity() for e in baseline
+            ]
+
+    def test_merge_registries_is_order_invariant(self):
+        registries = []
+        for worker_id in range(4):
+            registry = MetricsRegistry()
+            registry.counter("shard_packets_total").inc(worker_id * 10)
+            registry.histogram(
+                "shard_loop_packets", buckets=(10.0, 100.0)
+            ).observe(worker_id * 7.0)
+            registries.append(registry)
+        baseline = json.dumps(
+            merge_registries(registries).state(), sort_keys=True
+        )
+        for seed in range(20):
+            order = list(registries)
+            random.Random(seed).shuffle(order)
+            assert (
+                json.dumps(merge_registries(order).state(), sort_keys=True)
+                == baseline
+            )
+
+
+# -- RPC framing propagation ---------------------------------------------------
+
+
+class Echo:
+    """A service that records the propagation header it was called under."""
+
+    def __init__(self, bus):
+        self.bus = bus
+        self.seen = []
+
+    def ping(self):
+        self.seen.append(self.bus.current_trace())
+        return "pong"
+
+
+class Flaky(Echo):
+    """Fails with a retriable transport error on the first attempt."""
+
+    def ping(self):
+        super().ping()
+        if len(self.seen) == 1:
+            raise TransportError("first attempt drops")
+        return "pong"
+
+
+class TestRpcPropagation:
+    def test_bus_call_frames_a_context_from_its_span(self):
+        bus = MessageBus()
+        bus.tracer = TraceCollector(SimClock(0.0), seed=1)
+        service = Echo(bus)
+        bus.register(SRC, service)
+        assert bus.call(SRC, "ping") == "pong"
+        (ctx,) = service.seen
+        (span,) = bus.tracer.spans(name="bus.call")
+        assert ctx == TraceContext.from_span(span)
+        # Outside the call the framing stack is empty again.
+        assert bus.current_trace() is None
+
+    def test_explicit_context_wins_and_flows_without_a_tracer(self):
+        bus = MessageBus()
+        service = Echo(bus)
+        bus.register(SRC, service)
+        ctx = TraceContext("feed", "beef", sampled=True)
+        bus.call(SRC, "ping", trace=ctx)
+        assert service.seen == [ctx]
+        assert bus.current_trace() is None
+
+    def test_untraced_call_frames_nothing(self):
+        bus = MessageBus()
+        service = Echo(bus)
+        bus.register(SRC, service)
+        bus.call(SRC, "ping")
+        assert service.seen == [None]
+
+    def test_retry_attempts_share_one_logical_context(self):
+        clock = SimClock(0.0)
+        bus = MessageBus()
+        service = Flaky(bus)
+        bus.register(SRC, service)
+        caller = RetryingCaller(bus, clock, DST)
+        caller.obs = ObsContext.create(clock, seed=2)
+        bus.tracer = caller.obs.tracer
+        assert caller.call(SRC, "ping") == "pong"
+        assert len(service.seen) == 2
+        first, second = service.seen
+        assert first is not None and first == second
+        (retry_span,) = caller.obs.tracer.spans(name="retry.call")
+        assert first == TraceContext.from_span(retry_span)
+        # Both bus.call attempt spans are children of the retry span.
+        attempts = caller.obs.tracer.spans(name="bus.call")
+        assert len(attempts) == 2
+        assert {span.parent_id for span in attempts} == {retry_span.span_id}
+
+
+# -- the stitched shard tree ---------------------------------------------------
+
+
+def sharded_run(seed: int, sampled: bool = True):
+    """A fig6-style forced-process sharded run under a parent trace."""
+    tracer = TraceCollector(SimClock(0.0), seed=seed)
+    root = tracer.start("fig6.sharded_run")
+    ctx = TraceContext(root.trace_id, root.span_id, sampled=sampled)
+    executor = ShardExecutor(
+        "router", reservations=64, packets=256, batch=64,
+        obs_seed=seed, trace=ctx,
+    )
+    result = executor.run(2, force_processes=True)
+    tracer.finish(root)
+    return tracer, result
+
+
+class TestStitchedShardTree:
+    def test_exact_cross_process_tree(self):
+        tracer, result = sharded_run(seed=2026)
+        merged = result.merged_telemetry(expected_workers=[0, 1])
+        assert merged is not None
+        (root,) = tracer.spans(name="fig6.sharded_run")
+        assert sorted(merged.spans) == [0, 1]
+        for worker_id in (0, 1):
+            spans = {span.name: span for span in merged.spans[worker_id]}
+            run, loop = spans["shard.run"], spans["shard.loop"]
+            # One trace spanning the parent and both worker processes,
+            # with exact parentage.
+            assert run.trace_id == root.trace_id
+            assert run.parent_id == root.span_id
+            assert run.attributes == {"component": "router", "shard": worker_id}
+            assert loop.trace_id == root.trace_id
+            assert loop.parent_id == run.span_id
+            assert loop.attributes == {"packets": 256}
+        forest = render_span_forest(
+            merge_traces(tracer.spans(), merged.spans)
+        )
+        assert forest == "\n".join(
+            [
+                "    0.000ms . fig6.sharded_run",
+                "    0.000ms .   shard.run [component=router shard=0]",
+                "    0.000ms .     shard.loop [packets=256]",
+                "    0.000ms .   shard.run [component=router shard=1]",
+                "    0.000ms .     shard.loop [packets=256]",
+            ]
+        )
+
+    def test_same_seed_runs_are_byte_identical(self):
+        tracer_a, result_a = sharded_run(seed=7)
+        tracer_b, result_b = sharded_run(seed=7)
+        merged_a = result_a.merged_telemetry(expected_workers=[0, 1])
+        merged_b = result_b.merged_telemetry(expected_workers=[0, 1])
+        assert spans_jsonl(
+            merge_traces(tracer_a.spans(), merged_a.spans)
+        ) == spans_jsonl(merge_traces(tracer_b.spans(), merged_b.spans))
+        assert merged_a.events_jsonl() == merged_b.events_jsonl()
+        assert json.dumps(
+            merged_a.registry.state(), sort_keys=True
+        ) == json.dumps(merged_b.registry.state(), sort_keys=True)
+
+    def test_unsampled_context_skips_spans_not_accounting(self):
+        _, result = sharded_run(seed=9, sampled=False)
+        merged = result.merged_telemetry(expected_workers=[0, 1])
+        # Span collection honors the head-sampling decision...
+        assert all(not spans for spans in merged.spans.values())
+        # ...but the accounting record (journal + metrics) always ships.
+        completed = [e for e in merged.events if e.type == SHARD_COMPLETED]
+        assert {e.attrs["shard_index"] for e in completed} == {0, 1}
+        state = json.dumps(merged.registry.state())
+        assert "shard_packets_total" in state
+
+    def test_obs_free_run_ships_no_frames(self):
+        executor = ShardExecutor(
+            "router", reservations=64, packets=256, batch=64
+        )
+        result = executor.run(2, force_processes=True)
+        assert all(not outcome.frames for outcome in result.shards)
+        assert result.merged_telemetry() is None
+
+
+# -- the sampling profiler -----------------------------------------------------
+
+
+class TestSamplingProfiler:
+    def test_tick_fires_every_nth(self):
+        profiler = SamplingProfiler(every=4)
+        assert [profiler.tick() for _ in range(12)] == [
+            False, False, False, True,
+            False, False, False, True,
+            False, False, False, True,
+        ]
+        assert profiler.total_bursts == 12
+        assert profiler.sampled_bursts == 3
+
+    def test_every_one_always_samples(self):
+        profiler = SamplingProfiler(every=1)
+        assert all(profiler.tick() for _ in range(5))
+
+    def test_default_rate(self):
+        profiler = SamplingProfiler()
+        assert profiler.every == DEFAULT_SAMPLE_EVERY
+
+    def test_observations_land_in_fixed_buckets(self):
+        profiler = SamplingProfiler(every=1)
+        profiler.tick()
+        profiler.observe_burst(
+            64,
+            (
+                ("gateway.wire.plan", 5e-07),   # below first bound
+                ("gateway.wire.stamp", 2e-06),  # second bucket
+                ("gateway.wire.burst", 1.0),    # overflow bucket
+            ),
+        )
+        profiler.count("sigma_cache_hits", 3)
+        snapshot = profiler.snapshot()
+        assert snapshot["counts"]["sampled_packets"] == 64
+        assert snapshot["counts"]["sigma_cache_hits"] == 3
+        stages = snapshot["stages"]
+        plan = stages["gateway.wire.plan"]
+        assert plan["counts"][0] == 1 and plan["count"] == 1
+        stamp = stages["gateway.wire.stamp"]
+        assert stamp["counts"][1] == 1
+        burst = stages["gateway.wire.burst"]
+        assert burst["counts"][-1] == 1
+        json.dumps(snapshot)  # artifact-ready
+
+    def test_snapshot_is_json_ready_when_idle(self):
+        assert json.loads(json.dumps(SamplingProfiler().snapshot())) == (
+            SamplingProfiler().snapshot()
+        )
+
+
+# -- sampled wire-path equivalence ---------------------------------------------
+
+
+def wire_stack(sampler=None):
+    """A source gateway + middle router pair, optionally instrumented."""
+    clock = SimClock(1000.0)
+    mid_keys = ColibriKeys(DrkeyDeriver(MID, clock, seed=b"mid" * 6))
+    gateway = ColibriGateway(SRC, clock)
+    router = BorderRouter(MID, mid_keys, clock)
+    if sampler is not None:
+        obs = ObsContext.create(clock, seed=0)
+        obs.sampler = sampler
+        gateway.obs = obs
+        router.obs = obs
+    now = clock.now()
+    res_id = ReservationId(SRC, 5)
+    res_info = ResInfo(
+        reservation=res_id, bandwidth=gbps(1), expiry=now + EER_LIFETIME,
+        version=1,
+    )
+    sigma_mid = hop_authenticator(mid_keys.hop_key(now), res_info, EER, 2, 3)
+    gateway.install(
+        res_id, PATH, EER, res_info, (b"x" * 16, sigma_mid, b"y" * 16)
+    )
+    return clock, gateway, router, res_id
+
+
+def wire_run(sampler=None, bursts=8, batch=8):
+    """Bytes + verdicts of a wire workload, sampled or not."""
+    clock, gateway, router, res_id = wire_stack(sampler)
+    arena = PacketArena(slots=batch, slot_size=2048)
+    rng = random.Random(11)
+    all_bytes = []
+    all_verdicts = []
+    for burst in range(bursts):
+        requests = [
+            (res_id, b"z" * rng.randrange(16, 64)) for _ in range(batch)
+        ]
+        views = gateway.send_batch_wire(requests, arena)
+        for view in views:
+            all_bytes.append(view.materialize())
+            view.advance_hop()
+        if burst == bursts - 1:
+            # Corrupt one HVF so the verdict set includes a False.
+            view = views[0]
+            offsets = ColibriPacket.wire_offsets(view.hop_count, True)
+            at = view.offset + offsets.hvf + view.hop_index * L_HVF
+            arena.buffer[at] ^= 0xFF
+        all_verdicts.extend(router.validate_wire_batch(views))
+        clock.advance(1e-6)
+    return all_bytes, all_verdicts
+
+
+class TestSampledWireEquivalence:
+    def test_sampled_paths_produce_identical_bytes_and_verdicts(self):
+        plain_bytes, plain_verdicts = wire_run(sampler=None)
+        sampled_bytes, sampled_verdicts = wire_run(
+            sampler=SamplingProfiler(every=1)
+        )
+        assert sampled_bytes == plain_bytes
+        assert sampled_verdicts == plain_verdicts
+        assert False in plain_verdicts and True in plain_verdicts
+
+    def test_default_rate_matches_too(self):
+        plain = wire_run(sampler=None)
+        # every=2: alternating sampled/unsampled bursts on both planes.
+        assert wire_run(sampler=SamplingProfiler(every=2)) == plain
+
+    def test_sampler_records_stages_and_cache_counts(self):
+        sampler = SamplingProfiler(every=1)
+        wire_run(sampler=sampler)
+        snapshot = sampler.snapshot()
+        stages = set(snapshot["stages"])
+        assert {
+            "gateway.wire.plan",
+            "gateway.wire.stamp",
+            "gateway.wire.burst",
+            "router.wire.validate",
+            "router.wire.burst",
+        } <= stages
+        assert snapshot["counts"]["sampled_packets"] > 0
+        # The σ-cache warms on the first burst, then hits.
+        assert snapshot["counts"]["sigma_cache_misses"] >= 1
+        assert snapshot["counts"]["sigma_cache_hits"] > 0

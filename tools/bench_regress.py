@@ -59,20 +59,47 @@ def best_prior_by_config(priors: list) -> dict:
     return best
 
 
-def compare(latest: dict, priors: list):
-    """``(geomean_ratio, matched)`` for the latest run vs its history;
-    ``(None, 0)`` when no configuration overlaps."""
+def config_deltas(latest: dict, priors: list) -> list:
+    """Per-configuration comparison rows for the latest run:
+    ``(config_key, baseline_pps, current_pps)`` for every configuration
+    shared with the history, in latest-run order."""
     best = best_prior_by_config(priors)
-    ratios = []
+    rows = []
     for row in latest["results"]:
         key = json.dumps(row["config"], sort_keys=True)
         prior = best.get(key)
         if prior and prior > 0:
-            ratios.append(float(row["pps"]) / prior)
+            rows.append((key, prior, float(row["pps"])))
+    return rows
+
+
+def compare(latest: dict, priors: list):
+    """``(geomean_ratio, matched)`` for the latest run vs its history;
+    ``(None, 0)`` when no configuration overlaps."""
+    ratios = [
+        current / baseline
+        for _, baseline, current in config_deltas(latest, priors)
+    ]
     if not ratios:
         return None, 0
     geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
     return geomean, len(ratios)
+
+
+def delta_table(rows: list) -> list:
+    """Human-readable per-config lines: which configuration moved, from
+    what baseline, by how much — so a gate failure names the culprit
+    instead of just the aggregate."""
+    lines = [
+        f"  {'config':<64} | {'baseline':>10} | {'current':>10} | {'delta':>7}"
+    ]
+    for key, baseline, current in rows:
+        delta = (current / baseline - 1.0) * 100.0
+        lines.append(
+            f"  {key:<64} | {baseline:>10.1f} | {current:>10.1f} | "
+            f"{delta:>+6.1f}%"
+        )
+    return lines
 
 
 def main(argv=None) -> int:
@@ -101,19 +128,21 @@ def main(argv=None) -> int:
         verdict = "OK"
         if geomean < 1.0 - args.threshold:
             verdict = "REGRESSION"
-            failures.append((name, geomean))
+            failures.append((name, geomean, config_deltas(latest, priors)))
         print(
             f"{name}: {matched} matched configs, throughput x{geomean:.3f} "
             f"vs best prior — {verdict}"
         )
     if failures:
-        for name, geomean in failures:
+        for name, geomean, rows in failures:
             print(
                 f"bench-regress: {name} throughput regressed to "
                 f"{geomean:.3f}x of the best recorded run "
                 f"(threshold {1.0 - args.threshold:.2f}x)",
                 file=sys.stderr,
             )
+            for line in delta_table(rows):
+                print(line, file=sys.stderr)
         return 1
     return 0
 
